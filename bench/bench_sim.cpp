@@ -1,0 +1,95 @@
+// E6 — simulator throughput: the executor must be fast enough to serve
+// as the equivalence oracle inside the optimizer's inner loop.
+//
+// Reports cycles/second on the named designs and on random compiled
+// programs of growing size.
+//
+// Expected shape: throughput in the hundreds of thousands of
+// cycles/second at small sizes, degrading roughly linearly with data-path
+// size (per-cycle evaluation is O(ports + arcs)).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "sim/simulator.h"
+#include "synth/compile.h"
+#include "synth/designs.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads.h"
+
+using namespace camad;
+
+namespace {
+
+void print_table() {
+  Table table({"design", "states", "arcs", "cycles/run"});
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    const dcf::System sys = synth::compile_source(std::string(d.source));
+    sim::Environment env = bench::fixed_environment(sys, d.name);
+    sim::SimOptions options;
+    options.record_cycles = false;
+    const sim::SimResult result = sim::simulate(sys, env, options);
+    table.add_row({d.name,
+                   std::to_string(sys.control().net().place_count()),
+                   std::to_string(sys.datapath().arc_count()),
+                   std::to_string(result.cycles)});
+  }
+  std::cout << "E6: simulated designs (fixed environments)\n"
+            << table.to_string() << '\n';
+}
+
+void BM_simulate_design(benchmark::State& state, const std::string& name,
+                        const std::string& source) {
+  const dcf::System sys = synth::compile_source(source);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Environment env = bench::fixed_environment(sys, name);
+    sim::SimOptions options;
+    options.record_cycles = false;
+    const sim::SimResult result = sim::simulate(sys, env, options);
+    cycles += result.cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_simulate_random(benchmark::State& state) {
+  bench::RandomProgramOptions options;
+  options.straight_line_ops = static_cast<std::size_t>(state.range(0));
+  options.variables = 6;
+  options.loops = 2;
+  options.loop_trip = 8;
+  const dcf::System sys =
+      synth::compile_source(bench::random_program(17, options));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Environment env = sim::Environment::random_for(sys, 5, 64, 1, 20);
+    sim::SimOptions sim_options;
+    sim_options.record_cycles = false;
+    cycles += sim::simulate(sys, env, sim_options).cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["arcs"] =
+      static_cast<double>(sys.datapath().arc_count());
+}
+
+BENCHMARK(BM_simulate_random)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    benchmark::RegisterBenchmark(("BM_simulate/" + d.name).c_str(),
+                                 BM_simulate_design, d.name,
+                                 std::string(d.source));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E3 — the area/delay trade-off curve from the transformation-based
+// optimizer (Sec 5's iterative improvement), swept over the objective's
+// area weight λ on diffeq and ewf.
+//
+// Expected shape: a monotone frontier — area falls and execution time
+// rises (weakly) as λ moves from 0 (time only) to 1 (area only). The
+// google-benchmark section times whole optimizer runs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "synth/compile.h"
+#include "synth/designs.h"
+#include "synth/optimizer.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace camad;
+
+namespace {
+
+void print_curve(const std::string& name, std::string_view source) {
+  const dcf::System serial = synth::compile_source(std::string(source));
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+
+  Table table({"lambda", "mergers", "area", "mean cycles", "cycle ns",
+               "time ns"});
+  for (const double lambda : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    synth::OptimizerOptions options;
+    options.area_weight = lambda;
+    options.measure.environments = 2;
+    options.measure.value_hi = 20;
+    const synth::OptimizerResult result =
+        synth::optimize(serial, lib, options);
+    table.add_row({format_double(lambda, 1),
+                   std::to_string(result.merges_applied),
+                   format_double(result.final.area, 0),
+                   format_double(result.final.mean_cycles, 1),
+                   format_double(result.final.cycle_time, 1),
+                   format_double(result.final.time_ns, 0)});
+  }
+  std::cout << "E3: area/delay trade-off for " << name << "\n"
+            << table.to_string() << '\n';
+}
+
+void BM_optimize(benchmark::State& state, const std::string& source,
+                 double lambda) {
+  const dcf::System serial = synth::compile_source(source);
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+  synth::OptimizerOptions options;
+  options.area_weight = lambda;
+  options.measure.environments = 1;
+  options.measure.value_hi = 15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::optimize(serial, lib, options));
+  }
+}
+
+}  // namespace
+
+void print_search_comparison() {
+  // Search-strategy ablation: greedy steepest-descent vs random-restart
+  // stochastic descent at lambda = 1 (pure area).
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+  Table table({"design", "greedy area", "greedy merges", "stochastic area",
+               "stochastic merges"});
+  for (const char* name : {"gcd", "diffeq"}) {
+    const auto designs = synth::all_designs();
+    std::string_view source;
+    for (const auto& d : designs) {
+      if (d.name == name) source = d.source;
+    }
+    const dcf::System serial = synth::compile_source(std::string(source));
+    synth::OptimizerOptions options;
+    options.area_weight = 1.0;
+    options.measure.environments = 2;
+    options.measure.value_hi = 20;
+    const synth::OptimizerResult greedy = synth::optimize(serial, lib,
+                                                          options);
+    synth::StochasticOptions stochastic;
+    stochastic.base = options;
+    stochastic.restarts = 3;
+    const synth::OptimizerResult random =
+        synth::optimize_stochastic(serial, lib, stochastic);
+    table.add_row({name, format_double(greedy.final.area, 0),
+                   std::to_string(greedy.merges_applied),
+                   format_double(random.final.area, 0),
+                   std::to_string(random.merges_applied)});
+  }
+  std::cout << "E3b: search strategy ablation (lambda = 1)\n"
+            << table.to_string() << '\n';
+}
+
+int main(int argc, char** argv) {
+  print_curve("diffeq", synth::diffeq_source());
+  print_curve("ewf", synth::ewf_source());
+  print_search_comparison();
+  benchmark::RegisterBenchmark("BM_optimize/gcd_area", BM_optimize,
+                               std::string(synth::gcd_source()), 1.0);
+  benchmark::RegisterBenchmark("BM_optimize/gcd_balanced", BM_optimize,
+                               std::string(synth::gcd_source()), 0.5);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

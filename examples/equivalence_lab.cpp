@@ -1,0 +1,116 @@
+// Equivalence laboratory: the semantic machinery of Sections 3-4, live.
+//
+//   $ ./equivalence_lab
+//
+// Demonstrates:
+//   * external event structures and their (E, ≺, ≈) relations;
+//   * why Def 4.3 clause (e) — states touching the environment are always
+//     dependent — is load-bearing: dropping it lets the parallelizer
+//     reorder observable writes and the oracle catches it;
+//   * the literal Def 4.4 transitive closure vs the direct relation;
+//   * confluence: properly designed systems behave identically under
+//     every firing policy.
+
+#include <iostream>
+
+#include "semantics/equivalence.h"
+#include "semantics/events.h"
+#include "sim/simulator.h"
+#include "synth/compile.h"
+#include "transform/parallelize.h"
+
+using namespace camad;
+
+namespace {
+
+const char* kSource = R"(design lab {
+  in a, b;
+  out o1, o2;
+  var x, y, px, py;
+  begin
+    x := a;
+    y := b;
+    px := x + 1;
+    py := y * 2;
+    o1 := px;
+    o2 := py;
+  end
+})";
+
+std::vector<dcf::Value> outputs(const dcf::System& sys, std::uint64_t seed,
+                                sim::FiringPolicy policy) {
+  sim::Environment env = sim::Environment::random_for(sys, 99, 8);
+  sim::SimOptions options;
+  options.policy = policy;
+  options.seed = seed;
+  const sim::SimResult r = sim::simulate(sys, env, options);
+  std::vector<dcf::Value> out;
+  for (const auto& e : r.trace.events()) out.push_back(e.value);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const dcf::System serial = synth::compile_source(kSource);
+
+  // --- event structures ------------------------------------------------------
+  sim::Environment env = sim::Environment::random_for(serial, 1, 8);
+  const sim::SimResult run = sim::simulate(serial, env);
+  const auto structure =
+      semantics::EventStructure::extract(serial, run.trace);
+  std::cout << "external event structure of the serial design:\n"
+            << structure.to_string() << "\n";
+
+  // --- clause (e) ablation -----------------------------------------------------
+  {
+    transform::ParallelizeOptions sound;  // all clauses on
+    const dcf::System par = transform::parallelize(serial, sound);
+    const auto verdict = semantics::differential_equivalence(serial, par);
+    std::cout << "parallelize with full Def 4.3: "
+              << (verdict.holds ? "equivalent" : verdict.why) << "\n";
+
+    transform::ParallelizeOptions unsound;
+    unsound.dependence.clause_e = false;  // drop the environment clause
+    const dcf::System bad = transform::parallelize(serial, unsound);
+    const auto bad_verdict = semantics::differential_equivalence(serial, bad);
+    std::cout << "parallelize without clause (e): "
+              << (bad_verdict.holds
+                      ? "(still equivalent on sampled environments)"
+                      : std::string("NOT equivalent - ") + bad_verdict.why)
+              << "\n";
+  }
+
+  // --- strict Def 4.4 closure ---------------------------------------------------
+  {
+    transform::ParallelizeOptions strict;
+    strict.strict_transitive = true;
+    transform::ParallelizeStats stats;
+    transform::parallelize(serial, strict, &stats);
+    std::cout << "literal Def 4.4 closure: " << stats.segments_transformed
+              << " segments transformed (the closure freezes whole "
+                 "dataflow components)\n";
+
+    transform::ParallelizeStats direct_stats;
+    transform::parallelize(serial, {}, &direct_stats);
+    std::cout << "direct dependence reading: "
+              << direct_stats.segments_transformed
+              << " segment(s) transformed\n\n";
+  }
+
+  // --- confluence across firing policies -----------------------------------------
+  const dcf::System par = transform::parallelize(serial);
+  const auto reference = outputs(par, 1, sim::FiringPolicy::kMaximalStep);
+  bool all_agree = true;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    all_agree &=
+        (outputs(par, seed, sim::FiringPolicy::kSingleRandom) == reference);
+    all_agree &=
+        (outputs(par, seed, sim::FiringPolicy::kRandomOrder) == reference);
+  }
+  std::cout << "confluence over 16 random interleavings: "
+            << (all_agree ? "all external events identical"
+                          : "DIVERGENCE (improper design?)")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// End-to-end synthesis of the GCD design: BDL source in, netlist out.
+//
+//   $ ./gcd_synthesis
+//
+// Walks the full CAMAD flow of the paper's Section 5 on Euclid's
+// algorithm: compile to the serial preliminary design, verify Def 3.2,
+// optimize with semantics-preserving transformations, and emit the final
+// register-transfer structure.
+
+#include <iostream>
+
+#include "synth/designs.h"
+#include "synth/synthesis.h"
+
+using namespace camad;
+
+int main() {
+  std::cout << "input behaviour:\n" << synth::gcd_source() << "\n\n";
+
+  synth::SynthesisOptions options;
+  options.optimizer.area_weight = 0.6;  // lean toward a small design
+  options.optimizer.measure.environments = 3;
+
+  const synth::SynthesisResult result =
+      synth::synthesize(std::string(synth::gcd_source()), options);
+
+  std::cout << result.report << "\n";
+  std::cout << "applied " << result.optimization.merges_applied
+            << " vertex merger(s); final design verified against the serial "
+               "compile.\n\n";
+  std::cout << result.netlist << "\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Fluent construction helper for data/control flow systems.
+//
+// Wraps DataPath + ControlNet so tests and examples can express the
+// paper's diagrams in a few lines:
+//
+//   SystemBuilder b;
+//   auto x  = b.input("x");
+//   auto r  = b.reg("r");
+//   auto s1 = b.state("S1", /*initial=*/true);
+//   b.connect(x, r, 0, {s1});          // arc x.o -> r.i, opened by S1
+//   auto s2 = b.state("S2");
+//   b.chain(s1, s2);                   // S1 -> T -> S2
+//   System sys = b.build("demo");
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "dcf/system.h"
+
+namespace camad::dcf {
+
+class SystemBuilder {
+ public:
+  // --- data path ----------------------------------------------------------
+  VertexId input(std::string name) { return dp_.add_input(std::move(name)); }
+  VertexId output(std::string name) { return dp_.add_output(std::move(name)); }
+  VertexId reg(std::string name) { return dp_.add_register(std::move(name)); }
+  VertexId unit(std::string name, OpCode code) {
+    return dp_.add_unit(std::move(name), code);
+  }
+  VertexId constant(std::string name, std::int64_t value) {
+    return dp_.add_constant(std::move(name), value);
+  }
+
+  /// k-th output / input port of a vertex.
+  [[nodiscard]] PortId out(VertexId v, std::size_t k = 0) const {
+    return dp_.output_ports(v).at(k);
+  }
+  [[nodiscard]] PortId in(VertexId v, std::size_t k = 0) const {
+    return dp_.input_ports(v).at(k);
+  }
+
+  /// Arc from `from`'s first output port to `to`'s k-th input port,
+  /// controlled by each state in `states`.
+  ArcId connect(VertexId from, VertexId to, std::size_t to_input = 0,
+                std::initializer_list<petri::PlaceId> states = {}) {
+    const ArcId a = dp_.add_arc(out(from), in(to, to_input));
+    for (petri::PlaceId s : states) cn_.control(s, a);
+    return a;
+  }
+  /// Port-level arc with control.
+  ArcId arc(PortId from, PortId to,
+            std::initializer_list<petri::PlaceId> states = {}) {
+    const ArcId a = dp_.add_arc(from, to);
+    for (petri::PlaceId s : states) cn_.control(s, a);
+    return a;
+  }
+  /// Adds an existing arc to C(state).
+  void control(petri::PlaceId state, ArcId a) { cn_.control(state, a); }
+
+  // --- control net ---------------------------------------------------------
+  petri::PlaceId state(std::string name = {}, bool initial = false) {
+    const petri::PlaceId s = cn_.add_state(std::move(name));
+    if (initial) cn_.net().set_initial_tokens(s, 1);
+    return s;
+  }
+  petri::TransitionId transition(std::string name = {}) {
+    return cn_.add_transition(std::move(name));
+  }
+  void flow(petri::PlaceId s, petri::TransitionId t) { cn_.net().connect(s, t); }
+  void flow(petri::TransitionId t, petri::PlaceId s) { cn_.net().connect(t, s); }
+
+  /// Creates a transition from `from` to `to` and returns it.
+  petri::TransitionId chain(petri::PlaceId from, petri::PlaceId to,
+                            std::string name = {}) {
+    const petri::TransitionId t = cn_.add_transition(std::move(name));
+    cn_.net().connect(from, t);
+    cn_.net().connect(t, to);
+    return t;
+  }
+
+  /// Guards `t` by the first output port of `v` (typically a register).
+  void guard(petri::TransitionId t, VertexId v) {
+    cn_.guard(t, out(v));
+  }
+  void guard(petri::TransitionId t, PortId port) { cn_.guard(t, port); }
+
+  // --- access / finish ------------------------------------------------------
+  [[nodiscard]] DataPath& datapath() { return dp_; }
+  [[nodiscard]] ControlNet& controlnet() { return cn_; }
+
+  /// Moves the parts into a validated System.
+  System build(std::string name = "system") {
+    System sys(std::move(dp_), std::move(cn_), std::move(name));
+    sys.validate();
+    return sys;
+  }
+
+ private:
+  DataPath dp_;
+  ControlNet cn_;
+};
+
+}  // namespace camad::dcf

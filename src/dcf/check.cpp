@@ -1,0 +1,309 @@
+#include "dcf/check.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "petri/invariants.h"
+#include "petri/order.h"
+#include "util/error.h"
+
+namespace camad::dcf {
+namespace {
+
+using petri::PlaceId;
+using petri::TransitionId;
+
+void check_parallel_disjoint(const System& system, const CheckOptions& options,
+                             CheckReport& report) {
+  const auto& net = system.control().net();
+  const std::size_t n = net.place_count();
+
+  std::vector<bool> reachable_conc;
+  std::unique_ptr<petri::OrderRelations> order;
+  if (options.use_reachable_concurrency) {
+    reachable_conc = petri::concurrent_places(net, options.reachability);
+  } else {
+    order = std::make_unique<petri::OrderRelations>(net);
+  }
+  auto parallel = [&](PlaceId a, PlaceId b) {
+    if (options.use_reachable_concurrency) {
+      return static_cast<bool>(reachable_conc[a.index() * n + b.index()]);
+    }
+    return order->parallel(a, b);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const PlaceId si(static_cast<PlaceId::underlying_type>(i));
+      const PlaceId sj(static_cast<PlaceId::underlying_type>(j));
+      if (!parallel(si, sj)) continue;
+
+      // ASS = controlled arcs + associated (input-side) vertices.
+      const auto& arcs_i = system.control().controlled_arcs(si);
+      const auto& arcs_j = system.control().controlled_arcs(sj);
+      for (ArcId a : arcs_i) {
+        if (std::find(arcs_j.begin(), arcs_j.end(), a) != arcs_j.end()) {
+          report.violations.push_back(
+              {Rule::kParallelDisjoint,
+               "states " + net.name(si) + " and " + net.name(sj) +
+                   " are parallel but both control arc #" +
+                   std::to_string(a.value())});
+        }
+      }
+      const auto verts_i = system.associated_vertices(si);
+      const auto verts_j = system.associated_vertices(sj);
+      for (VertexId v : verts_i) {
+        if (std::find(verts_j.begin(), verts_j.end(), v) != verts_j.end()) {
+          report.violations.push_back(
+              {Rule::kParallelDisjoint,
+               "states " + net.name(si) + " and " + net.name(sj) +
+                   " are parallel but share vertex " +
+                   system.datapath().name(v)});
+        }
+      }
+    }
+  }
+}
+
+void check_safety(const System& system, const CheckOptions& options,
+                  CheckReport& report) {
+  const auto& net = system.control().net();
+  // Initial marking itself must be safe.
+  for (PlaceId p : net.places()) {
+    if (net.initial_tokens(p) > 1) {
+      report.violations.push_back(
+          {Rule::kSafety, "initial marking puts " +
+                              std::to_string(net.initial_tokens(p)) +
+                              " tokens on " + net.name(p)});
+      return;
+    }
+  }
+  if (options.try_invariant_certificate) {
+    try {
+      if (petri::covered_by_safe_invariants(net)) return;  // certified safe
+    } catch (const Error&) {
+      // Farkas row explosion: fall through to reachability.
+    }
+  }
+  const petri::ReachabilityResult result =
+      petri::explore(net, options.reachability);
+  if (!result.safe) {
+    std::string marked;
+    for (PlaceId p : result.unsafe_witness->marked_places()) {
+      marked += " " + net.name(p) + "(" +
+                std::to_string(result.unsafe_witness->tokens(p)) + ")";
+    }
+    report.violations.push_back(
+        {Rule::kSafety, "net is unsafe; witness marking:" + marked});
+  } else if (!result.complete) {
+    report.violations.push_back(
+        {Rule::kSafety,
+         "state space exceeded exploration budget; safety not established"});
+  }
+}
+
+/// True iff ports `a` and `b` are provably complementary guard sources.
+/// Recognized patterns (what the BDL compiler emits):
+///   * one port is the output of a kNot unit whose single input arc comes
+///     from the other port (q = NOT p);
+///   * both ports sit on the same vertex with complementary predicate ops
+///     (eq/ne, lt/ge, gt/le) over the vertex's shared input ports;
+///   * one level of register indirection over either pattern: a condition
+///     register whose only latch source is such a port.
+bool complementary_ports(const System& system, PortId a, PortId b) {
+  const DataPath& dp = system.datapath();
+
+  auto strip_reg = [&](PortId port) -> PortId {
+    if (dp.operation(port).code != OpCode::kReg) return port;
+    const VertexId v = dp.owner(port);
+    const auto& ins = dp.input_ports(v);
+    if (ins.size() != 1) return port;
+    const auto& arcs = dp.arcs_into(ins[0]);
+    if (arcs.size() != 1) return port;
+    return dp.arc_source(arcs[0]);
+  };
+  const PortId pa = strip_reg(a);
+  const PortId pb = strip_reg(b);
+
+  auto is_not_of = [&](PortId maybe_not, PortId base) {
+    const VertexId v = dp.owner(maybe_not);
+    if (dp.operation(maybe_not).code != OpCode::kNot) return false;
+    const auto& ins = dp.input_ports(v);
+    if (ins.size() != 1) return false;
+    const auto& arcs = dp.arcs_into(ins[0]);
+    return arcs.size() == 1 && dp.arc_source(arcs[0]) == base;
+  };
+  if (is_not_of(pa, pb) || is_not_of(pb, pa)) return true;
+
+  auto complementary_codes = [](OpCode x, OpCode y) {
+    return (x == OpCode::kEq && y == OpCode::kNe) ||
+           (x == OpCode::kNe && y == OpCode::kEq) ||
+           (x == OpCode::kLt && y == OpCode::kGe) ||
+           (x == OpCode::kGe && y == OpCode::kLt) ||
+           (x == OpCode::kGt && y == OpCode::kLe) ||
+           (x == OpCode::kLe && y == OpCode::kGt);
+  };
+  return dp.owner(pa) == dp.owner(pb) &&
+         complementary_codes(dp.operation(pa).code, dp.operation(pb).code);
+}
+
+void check_conflict_free(const System& system, CheckReport& report) {
+  const auto& net = system.control().net();
+  for (PlaceId p : net.places()) {
+    const auto& succs = net.post(p);
+    if (succs.size() < 2) continue;
+    for (std::size_t i = 0; i < succs.size(); ++i) {
+      for (std::size_t j = i + 1; j < succs.size(); ++j) {
+        const auto& gi = system.control().guards(succs[i]);
+        const auto& gj = system.control().guards(succs[j]);
+        if (gi.empty() || gj.empty()) {
+          report.violations.push_back(
+              {Rule::kConflictFree,
+               "place " + net.name(p) + " has competing transitions " +
+                   net.name(succs[i]) + ", " + net.name(succs[j]) +
+                   " of which at least one is unguarded"});
+          continue;
+        }
+        // Provable exclusivity: some guard of one complements some guard
+        // of the other and each side is singly guarded.
+        const bool provable = gi.size() == 1 && gj.size() == 1 &&
+                              complementary_ports(system, gi[0], gj[0]);
+        if (!provable) {
+          report.warnings.push_back(
+              {Rule::kConflictFree,
+               "guards of " + net.name(succs[i]) + " and " +
+                   net.name(succs[j]) + " from place " + net.name(p) +
+                   " not statically provable exclusive; verify dynamically"});
+        }
+      }
+    }
+  }
+}
+
+void check_no_comb_loop(const System& system, CheckReport& report) {
+  const DataPath& dp = system.datapath();
+  const auto& net = system.control().net();
+  for (PlaceId s : net.places()) {
+    // Port-level digraph: one node per port; controlled arcs connect
+    // out->in across vertices; COM operations connect in->out inside one.
+    graph::Digraph g(dp.port_count());
+    std::vector<bool> port_active(dp.port_count(), false);
+    for (ArcId a : system.control().controlled_arcs(s)) {
+      g.add_edge(graph::NodeId(dp.arc_source(a).value()),
+                 graph::NodeId(dp.arc_target(a).value()));
+      port_active[dp.arc_source(a).index()] = true;
+      port_active[dp.arc_target(a).index()] = true;
+    }
+    for (VertexId v : dp.vertices()) {
+      for (PortId o : dp.output_ports(v)) {
+        const Operation& op = dp.operation(o);
+        if (op_is_sequential(op.code)) continue;  // registers break loops
+        const int arity = op_arity(op.code);
+        const auto& ins = dp.input_ports(v);
+        for (int k = 0; k < arity; ++k) {
+          g.add_edge(graph::NodeId(ins[static_cast<std::size_t>(k)].value()),
+                     graph::NodeId(o.value()));
+        }
+      }
+    }
+    // A loop is only *active* under S if it passes through a controlled
+    // arc; internal in->out edges alone cannot form a cycle (ports are
+    // distinct). Detect cycles among nodes reachable from active ports.
+    if (graph::has_cycle(g)) {
+      // Refine: does a cycle touch an active port? (has_cycle is global.)
+      const auto scc = graph::strongly_connected_components(g);
+      std::vector<std::size_t> size(scc.count, 0);
+      for (std::size_t node = 0; node < dp.port_count(); ++node) {
+        ++size[scc.component[node]];
+      }
+      for (std::size_t node = 0; node < dp.port_count(); ++node) {
+        if (size[scc.component[node]] > 1 && port_active[node]) {
+          report.violations.push_back(
+              {Rule::kNoCombLoop,
+               "state " + net.name(s) +
+                   " activates a combinatorial loop through port " +
+                   dp.name(PortId(static_cast<PortId::underlying_type>(
+                       node)))});
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_sequential_result(const System& system, const CheckOptions& options,
+                             CheckReport& report) {
+  const auto& net = system.control().net();
+  for (PlaceId s : net.places()) {
+    if (options.allow_control_only_states &&
+        system.control().controlled_arcs(s).empty()) {
+      continue;
+    }
+    if (system.result_set(s).empty()) {
+      report.violations.push_back(
+          {Rule::kSequentialResult,
+           "ASS(" + net.name(s) + ") contains no sequential vertex" +
+               (system.control().controlled_arcs(s).empty()
+                    ? " (state controls no arcs)"
+                    : "")});
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kParallelDisjoint: return "parallel-disjoint";
+    case Rule::kSafety: return "safety";
+    case Rule::kConflictFree: return "conflict-free";
+    case Rule::kNoCombLoop: return "no-comb-loop";
+    case Rule::kSequentialResult: return "sequential-result";
+  }
+  return "?";
+}
+
+std::string CheckReport::to_string() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "properly designed";
+  } else {
+    os << violations.size() << " violation(s):\n";
+    for (const Violation& v : violations) {
+      os << "  [" << rule_name(v.rule) << "] " << v.message << '\n';
+    }
+  }
+  if (!warnings.empty()) {
+    os << warnings.size() << " warning(s):\n";
+    for (const Violation& v : warnings) {
+      os << "  [" << rule_name(v.rule) << "] " << v.message << '\n';
+    }
+  }
+  return os.str();
+}
+
+CheckReport check_properly_designed(const System& system,
+                                    const CheckOptions& options) {
+  system.validate();
+  CheckReport report;
+  check_parallel_disjoint(system, options, report);
+  check_safety(system, options, report);
+  check_conflict_free(system, report);
+  check_no_comb_loop(system, report);
+  check_sequential_result(system, options, report);
+  return report;
+}
+
+void require_properly_designed(const System& system,
+                               const CheckOptions& options) {
+  const CheckReport report = check_properly_designed(system, options);
+  if (!report.ok()) {
+    throw DesignRuleError("system '" + system.name() +
+                          "' is not properly designed: " + report.to_string());
+  }
+}
+
+}  // namespace camad::dcf

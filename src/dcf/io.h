@@ -1,0 +1,23 @@
+// Text serialization of data/control flow systems.
+//
+// A line-oriented, index-referenced format that round-trips every model
+// component (vertices, ports, ops, arcs, states, transitions, flow,
+// control mapping, guards, initial marking). Used for golden tests and to
+// ship the example designs as data files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dcf/system.h"
+
+namespace camad::dcf {
+
+/// Serializes to the `camad-system v1` text format.
+std::string save_system(const System& system);
+
+/// Parses text produced by save_system. Throws ParseError / ModelError on
+/// malformed input. The result is validated.
+System load_system(const std::string& text);
+
+}  // namespace camad::dcf

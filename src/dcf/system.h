@@ -1,0 +1,60 @@
+// The complete data/control flow system Γ = (D, S, T, F, C, G, M0).
+//
+// Combines a DataPath with a ControlNet and exposes the derived sets the
+// paper's definitions and transformations are phrased in:
+//   * ASS(S)  — arcs in C(S) plus vertices associated via their input
+//               ports (Defs 2.4/2.5);
+//   * dom(S)  — vertices with an output port on a controlled arc;
+//   * cod(S)  — vertices with an input port on a controlled arc;
+//   * R(S)    — sequential subset of cod(S), the state's result set
+//               (Def 4.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcf/control.h"
+#include "dcf/datapath.h"
+
+namespace camad::dcf {
+
+class System {
+ public:
+  System() = default;
+  System(DataPath datapath, ControlNet control, std::string name = "system");
+
+  [[nodiscard]] const DataPath& datapath() const { return datapath_; }
+  [[nodiscard]] DataPath& datapath() { return datapath_; }
+  [[nodiscard]] const ControlNet& control() const { return control_; }
+  [[nodiscard]] ControlNet& control() { return control_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Vertices associated with a control state (Def 2.4): those with an
+  /// input port hit by a controlled arc. Output-side vertices are *not*
+  /// associated — fanout from one output port never conflicts.
+  [[nodiscard]] std::vector<VertexId> associated_vertices(
+      petri::PlaceId state) const;
+
+  /// dom(S): vertices whose output port feeds an arc in C(S).
+  [[nodiscard]] std::vector<VertexId> domain(petri::PlaceId state) const;
+  /// cod(S): vertices whose input port is fed by an arc in C(S).
+  [[nodiscard]] std::vector<VertexId> codomain(petri::PlaceId state) const;
+  /// R(S): sequential vertices in cod(S).
+  [[nodiscard]] std::vector<VertexId> result_set(petri::PlaceId state) const;
+
+  /// True iff C(S) contains an external arc (used by Def 4.3 clause e).
+  [[nodiscard]] bool touches_environment(petri::PlaceId state) const;
+
+  /// Cross-structure referential integrity: C maps into real arcs, G into
+  /// real output ports, and the data path itself validates. Throws.
+  void validate() const;
+
+ private:
+  std::string name_ = "system";
+  DataPath datapath_;
+  ControlNet control_;
+};
+
+}  // namespace camad::dcf

@@ -1,0 +1,44 @@
+// Port values V(P): 64-bit integers extended with ⊥ (undefined).
+//
+// Def 3.1 rule 10 makes undefined values first-class: an input port whose
+// pending arcs are all inactive is undefined, and combinatorial outputs
+// over undefined inputs are undefined. Guards treat undefined as
+// not-TRUE, sequential latches ignore undefined (":= takes the last
+// *defined* value", rule 9).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace camad::dcf {
+
+class Value {
+ public:
+  /// Undefined (⊥).
+  constexpr Value() = default;
+  constexpr Value(std::int64_t v) : defined_(true), value_(v) {}  // NOLINT
+
+  [[nodiscard]] constexpr bool defined() const { return defined_; }
+  /// Raw integer; only meaningful when defined().
+  [[nodiscard]] constexpr std::int64_t raw() const { return value_; }
+
+  /// TRUE test for guards: defined and nonzero.
+  [[nodiscard]] constexpr bool truthy() const {
+    return defined_ && value_ != 0;
+  }
+
+  static constexpr Value undef() { return Value(); }
+
+  friend constexpr bool operator==(Value, Value) = default;
+
+ private:
+  bool defined_ = false;
+  std::int64_t value_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Value v) {
+  if (!v.defined()) return os << "⊥";
+  return os << v.raw();
+}
+
+}  // namespace camad::dcf

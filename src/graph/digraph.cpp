@@ -1,0 +1,26 @@
+#include "graph/digraph.h"
+
+#include "util/error.h"
+
+namespace camad::graph {
+
+Digraph::Digraph(std::size_t node_count) : out_(node_count), in_(node_count) {}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return NodeId(static_cast<NodeId::underlying_type>(out_.size() - 1));
+}
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, std::int64_t weight) {
+  if (from.index() >= out_.size() || to.index() >= out_.size()) {
+    throw ModelError("Digraph::add_edge: endpoint out of range");
+  }
+  const EdgeId id(static_cast<EdgeId::underlying_type>(edges_.size()));
+  edges_.push_back(Edge{from, to, weight});
+  out_[from.index()].push_back(id);
+  in_[to.index()].push_back(id);
+  return id;
+}
+
+}  // namespace camad::graph

@@ -1,0 +1,63 @@
+#include "petri/exec.h"
+
+#include "util/error.h"
+
+namespace camad::petri {
+
+bool is_enabled(const Net& net, const Marking& m, TransitionId t) {
+  for (PlaceId p : net.pre(t)) {
+    if (m.tokens(p) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<TransitionId> enabled_transitions(const Net& net, const Marking& m,
+                                              const GuardFn& guard) {
+  std::vector<TransitionId> out;
+  for (TransitionId t : net.transitions()) {
+    if (is_enabled(net, m, t) && (!guard || guard(t))) out.push_back(t);
+  }
+  return out;
+}
+
+Marking fire(const Net& net, const Marking& m, TransitionId t) {
+  if (!is_enabled(net, m, t)) {
+    throw ModelError("fire: transition " + net.name(t) + " not enabled");
+  }
+  Marking next = m;
+  for (PlaceId p : net.pre(t)) next.remove_token(p);
+  for (PlaceId p : net.post(t)) next.add_token(p);
+  return next;
+}
+
+std::vector<TransitionId> fire_maximal_step(const Net& net, Marking& m,
+                                            const GuardFn& guard) {
+  std::vector<TransitionId> order = net.transitions();
+  return fire_step_in_order(net, m, order, guard);
+}
+
+std::vector<TransitionId> fire_step_in_order(
+    const Net& net, Marking& m, const std::vector<TransitionId>& order,
+    const GuardFn& guard) {
+  // True *step* semantics: every transition in the step must be enabled by
+  // the marking at step start; tokens produced within the step are only
+  // visible afterwards. Consumption is tracked against the start marking
+  // to resolve conflicts (first in `order` wins), production accumulates
+  // separately.
+  std::vector<TransitionId> fired;
+  Marking available = m;
+  Marking produced(m.place_count());
+  for (TransitionId t : order) {
+    if (!is_enabled(net, available, t)) continue;
+    if (guard && !guard(t)) continue;
+    for (PlaceId p : net.pre(t)) available.remove_token(p);
+    for (PlaceId p : net.post(t)) produced.add_token(p);
+    fired.push_back(t);
+  }
+  for (PlaceId p : net.places()) {
+    m.set_tokens(p, available.tokens(p) + produced.tokens(p));
+  }
+  return fired;
+}
+
+}  // namespace camad::petri

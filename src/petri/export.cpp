@@ -1,0 +1,95 @@
+#include "petri/export.h"
+
+#include <sstream>
+
+#include "util/dot.h"
+
+namespace camad::petri {
+
+std::string to_dot(const Net& net, const Marking* marking) {
+  DotWriter dot("petri_net");
+  for (PlaceId p : net.places()) {
+    DotWriter::Attrs attrs{{"shape", "circle"}};
+    std::string label = net.name(p);
+    if (marking != nullptr && marking->tokens(p) > 0) {
+      label += " (" + std::to_string(marking->tokens(p)) + ")";
+      attrs.emplace_back("style", "filled");
+      attrs.emplace_back("fillcolor", "lightblue");
+    }
+    attrs.emplace_back("label", label);
+    dot.add_node("p" + std::to_string(p.value()), attrs);
+  }
+  for (TransitionId t : net.transitions()) {
+    dot.add_node("t" + std::to_string(t.value()),
+                 {{"shape", "box"}, {"label", net.name(t)}});
+  }
+  for (TransitionId t : net.transitions()) {
+    const std::string tn = "t" + std::to_string(t.value());
+    for (PlaceId p : net.pre(t)) {
+      dot.add_edge("p" + std::to_string(p.value()), tn);
+    }
+    for (PlaceId p : net.post(t)) {
+      dot.add_edge(tn, "p" + std::to_string(p.value()));
+    }
+  }
+  return dot.finish();
+}
+
+namespace {
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_pnml(const Net& net, std::string_view net_id) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<pnml xmlns=\"http://www.pnml.org/version-2009/grammar/pnml\">\n";
+  os << "  <net id=\"" << xml_escape(std::string(net_id))
+     << "\" type=\"http://www.pnml.org/version-2009/grammar/ptnet\">\n";
+  os << "    <page id=\"page0\">\n";
+  for (PlaceId p : net.places()) {
+    os << "      <place id=\"p" << p.value() << "\">\n";
+    os << "        <name><text>" << xml_escape(net.name(p))
+       << "</text></name>\n";
+    if (net.initial_tokens(p) > 0) {
+      os << "        <initialMarking><text>" << net.initial_tokens(p)
+         << "</text></initialMarking>\n";
+    }
+    os << "      </place>\n";
+  }
+  for (TransitionId t : net.transitions()) {
+    os << "      <transition id=\"t" << t.value() << "\">\n";
+    os << "        <name><text>" << xml_escape(net.name(t))
+       << "</text></name>\n";
+    os << "      </transition>\n";
+  }
+  std::size_t arc = 0;
+  for (TransitionId t : net.transitions()) {
+    for (PlaceId p : net.pre(t)) {
+      os << "      <arc id=\"a" << arc++ << "\" source=\"p" << p.value()
+         << "\" target=\"t" << t.value() << "\"/>\n";
+    }
+    for (PlaceId p : net.post(t)) {
+      os << "      <arc id=\"a" << arc++ << "\" source=\"t" << t.value()
+         << "\" target=\"p" << p.value() << "\"/>\n";
+    }
+  }
+  os << "    </page>\n  </net>\n</pnml>\n";
+  return os.str();
+}
+
+}  // namespace camad::petri

@@ -1,0 +1,113 @@
+#include "petri/reachability.h"
+
+#include <deque>
+
+#include "petri/exec.h"
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace camad::petri {
+namespace {
+
+/// Shared BFS core; `visit` is called once per distinct reachable marking.
+template <typename Visit>
+ReachabilityResult explore_impl(const Net& net,
+                                const ReachabilityOptions& options,
+                                Visit&& visit) {
+  ReachabilityResult result;
+  std::unordered_set<Marking, MarkingHash> seen;
+  std::deque<Marking> frontier;
+
+  const Marking m0 = Marking::initial(net);
+  seen.insert(m0);
+  frontier.push_back(m0);
+
+  result.complete = true;
+  while (!frontier.empty()) {
+    const Marking current = frontier.front();
+    frontier.pop_front();
+    ++result.marking_count;
+    visit(current);
+
+    if (!current.is_safe() && !result.unsafe_witness) {
+      result.safe = false;
+      result.unsafe_witness = current;
+    }
+
+    bool bounded_here = true;
+    for (PlaceId p : net.places()) {
+      if (current.tokens(p) > options.token_bound) {
+        result.bounded = false;
+        bounded_here = false;
+      }
+    }
+    if (!bounded_here) continue;  // cut off runaway branches
+
+    bool any_fired = false;
+    for (TransitionId t : net.transitions()) {
+      if (!is_enabled(net, current, t)) continue;
+      any_fired = true;
+      Marking next = fire(net, current, t);
+      if (seen.insert(next).second) {
+        if (seen.size() > options.max_markings) {
+          result.complete = false;
+          return result;
+        }
+        frontier.push_back(std::move(next));
+      }
+    }
+    if (!any_fired) {
+      if (current.total() == 0) {
+        result.can_terminate = true;
+      } else if (!result.deadlock_witness) {
+        result.deadlock = true;
+        result.deadlock_witness = current;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ReachabilityResult explore(const Net& net, const ReachabilityOptions& options) {
+  return explore_impl(net, options, [](const Marking&) {});
+}
+
+std::vector<Marking> reachable_markings(const Net& net,
+                                        const ReachabilityOptions& options) {
+  std::vector<Marking> out;
+  const ReachabilityResult result = explore_impl(
+      net, options, [&out](const Marking& m) { out.push_back(m); });
+  if (!result.complete) {
+    throw Error("reachable_markings: state space exceeds max_markings");
+  }
+  return out;
+}
+
+std::vector<bool> concurrent_places(const Net& net,
+                                    const ReachabilityOptions& options) {
+  const std::size_t n = net.place_count();
+  std::vector<bool> concurrent(n * n, false);
+  const ReachabilityResult result =
+      explore_impl(net, options, [&](const Marking& m) {
+        const std::vector<PlaceId> marked = m.marked_places();
+        for (std::size_t a = 0; a < marked.size(); ++a) {
+          for (std::size_t b = a + 1; b < marked.size(); ++b) {
+            concurrent[marked[a].index() * n + marked[b].index()] = true;
+            concurrent[marked[b].index() * n + marked[a].index()] = true;
+          }
+          // A place marked with >= 2 tokens is concurrent with itself.
+          if (m.tokens(marked[a]) >= 2) {
+            concurrent[marked[a].index() * n + marked[a].index()] = true;
+          }
+        }
+      });
+  if (!result.complete) {
+    throw Error("concurrent_places: state space exceeds max_markings");
+  }
+  return concurrent;
+}
+
+}  // namespace camad::petri

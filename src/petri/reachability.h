@@ -1,0 +1,57 @@
+// Explicit-state reachability analysis.
+//
+// Used by the dcf::check layer to decide Def 3.2 condition (2) — the
+// control net must be *safe* — and to detect dead markings. Exploration
+// treats every transition as fireable (guards ignored), which
+// over-approximates the guarded behaviour: if the unguarded net is safe,
+// the guarded one is too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "petri/marking.h"
+#include "petri/net.h"
+
+namespace camad::petri {
+
+struct ReachabilityOptions {
+  /// Exploration stops (incomplete) after this many distinct markings.
+  std::size_t max_markings = 1u << 20;
+  /// A place exceeding this token count makes the net reported unbounded
+  /// (exploration of that branch is cut off).
+  std::uint32_t token_bound = 8;
+  /// Interleaving semantics: explore single-transition successors. This is
+  /// sufficient for safety/boundedness of ordinary nets.
+};
+
+struct ReachabilityResult {
+  bool complete = false;   ///< full state space was explored
+  bool safe = true;        ///< every reached marking is 0/1 per place
+  bool bounded = true;     ///< no place exceeded token_bound
+  bool deadlock = false;   ///< a non-terminal dead marking was reached
+  bool can_terminate = false;  ///< the zero marking is reachable
+  std::size_t marking_count = 0;
+  std::optional<Marking> unsafe_witness;
+  std::optional<Marking> deadlock_witness;
+};
+
+/// Breadth-first exploration from the initial marking.
+/// A dead marking with zero tokens total is *termination* (Def 3.1 rule 6),
+/// not deadlock; any other dead marking counts as deadlock.
+ReachabilityResult explore(const Net& net,
+                           const ReachabilityOptions& options = {});
+
+/// All reachable markings (throws Error if exploration is incomplete).
+std::vector<Marking> reachable_markings(
+    const Net& net, const ReachabilityOptions& options = {});
+
+/// Place-concurrency relation from reachability: result[i*|S|+j] is true
+/// iff some reachable marking marks both place i and place j (i != j).
+/// This is the *semantic* refinement of the paper's structural ∥ relation;
+/// see petri/order.h for the structural one.
+std::vector<bool> concurrent_places(const Net& net,
+                                    const ReachabilityOptions& options = {});
+
+}  // namespace camad::petri

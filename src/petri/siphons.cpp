@@ -1,0 +1,113 @@
+#include "petri/siphons.h"
+
+#include <algorithm>
+
+#include "util/bitset.h"
+
+namespace camad::petri {
+namespace {
+
+DynamicBitset to_set(const Net& net, const std::vector<PlaceId>& places) {
+  DynamicBitset set(net.place_count());
+  for (PlaceId p : places) set.set(p.index());
+  return set;
+}
+
+std::vector<PlaceId> to_places(const DynamicBitset& set) {
+  std::vector<PlaceId> out;
+  set.for_each([&](std::size_t i) {
+    out.emplace_back(static_cast<PlaceId::underlying_type>(i));
+  });
+  return out;
+}
+
+/// Iteratively removes places violating the closure property until the
+/// set is stable. `violates(p, set)` returns true when p must leave.
+template <typename Violates>
+DynamicBitset prune(const Net& net, DynamicBitset set, Violates&& violates) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (PlaceId p : net.places()) {
+      if (set.test(p.index()) && violates(p, set)) {
+        set.reset(p.index());
+        changed = true;
+      }
+    }
+  }
+  return set;
+}
+
+/// Siphon condition for p within `set`: every transition feeding p must
+/// also consume from the set. Violation: ∃t ∈ •p with •t ∩ set = ∅.
+bool siphon_violation(const Net& net, PlaceId p, const DynamicBitset& set) {
+  for (TransitionId t : net.pre(p)) {
+    bool consumes_from_set = false;
+    for (PlaceId q : net.pre(t)) {
+      if (set.test(q.index())) consumes_from_set = true;
+    }
+    if (!consumes_from_set) return true;
+  }
+  return false;
+}
+
+/// Trap condition for p within `set`: every transition consuming p must
+/// also feed the set. Violation: ∃t ∈ p• with t• ∩ set = ∅.
+bool trap_violation(const Net& net, PlaceId p, const DynamicBitset& set) {
+  for (TransitionId t : net.post(p)) {
+    bool feeds_set = false;
+    for (PlaceId q : net.post(t)) {
+      if (set.test(q.index())) feeds_set = true;
+    }
+    if (!feeds_set) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PlaceId> greatest_siphon_within(
+    const Net& net, const std::vector<PlaceId>& candidates) {
+  return to_places(prune(net, to_set(net, candidates),
+                         [&](PlaceId p, const DynamicBitset& set) {
+                           return siphon_violation(net, p, set);
+                         }));
+}
+
+std::vector<PlaceId> greatest_trap_within(
+    const Net& net, const std::vector<PlaceId>& candidates) {
+  return to_places(prune(net, to_set(net, candidates),
+                         [&](PlaceId p, const DynamicBitset& set) {
+                           return trap_violation(net, p, set);
+                         }));
+}
+
+bool is_siphon(const Net& net, const std::vector<PlaceId>& places) {
+  if (places.empty()) return false;
+  const DynamicBitset set = to_set(net, places);
+  for (PlaceId p : places) {
+    if (siphon_violation(net, p, set)) return false;
+  }
+  return true;
+}
+
+bool is_trap(const Net& net, const std::vector<PlaceId>& places) {
+  if (places.empty()) return false;
+  const DynamicBitset set = to_set(net, places);
+  for (PlaceId p : places) {
+    if (trap_violation(net, p, set)) return false;
+  }
+  return true;
+}
+
+SiphonAlarm check_unmarked_siphons(const Net& net) {
+  std::vector<PlaceId> unmarked;
+  for (PlaceId p : net.places()) {
+    if (net.initial_tokens(p) == 0) unmarked.push_back(p);
+  }
+  SiphonAlarm alarm;
+  alarm.unmarked_siphon = greatest_siphon_within(net, unmarked);
+  return alarm;
+}
+
+}  // namespace camad::petri

@@ -1,0 +1,50 @@
+// Siphons, traps, and Commoner's deadlock condition.
+//
+// A *siphon* is a place set D with •D ⊆ D• (once empty it stays empty);
+// a *trap* is the dual, Q• ⊆ •Q (once marked it stays marked). Commoner:
+// a free-choice net is live (deadlock-free under strong liveness) iff
+// every siphon contains an initially marked trap. Deciding the full
+// condition is hard in general; the polynomial pieces implemented here
+// are what a synthesis front end needs:
+//   * the *greatest* siphon inside a given place set (iterative pruning);
+//   * the greatest trap inside a set;
+//   * a structural deadlock alarm: the greatest siphon among initially
+//     unmarked places is nonempty and contains no marked trap — a
+//     necessary condition for a (partial) deadlock to be baked into the
+//     structure.
+//
+// Note: control nets with deliberate termination (empty post-set
+// transitions, Def 3.1 rule 6) drain by design; this analysis targets the
+// *cyclic* cores (loops) where an unmarked siphon means a loop that can
+// never run.
+#pragma once
+
+#include <vector>
+
+#include "petri/net.h"
+
+namespace camad::petri {
+
+/// Greatest siphon contained in `candidates` (empty result = none).
+std::vector<PlaceId> greatest_siphon_within(
+    const Net& net, const std::vector<PlaceId>& candidates);
+
+/// Greatest trap contained in `candidates`.
+std::vector<PlaceId> greatest_trap_within(
+    const Net& net, const std::vector<PlaceId>& candidates);
+
+/// True iff `places` is a siphon / trap of the net.
+bool is_siphon(const Net& net, const std::vector<PlaceId>& places);
+bool is_trap(const Net& net, const std::vector<PlaceId>& places);
+
+struct SiphonAlarm {
+  /// Nonempty: a siphon that is initially token-free — its input
+  /// transitions can never fire again.
+  std::vector<PlaceId> unmarked_siphon;
+  [[nodiscard]] bool clean() const { return unmarked_siphon.empty(); }
+};
+
+/// Checks for the structural alarm described above.
+SiphonAlarm check_unmarked_siphons(const Net& net);
+
+}  // namespace camad::petri

@@ -1,0 +1,40 @@
+// Timed Petri-net performance analysis for (strongly connected) marked
+// graphs.
+//
+// Ramchandani's classic result: in a timed marked graph the minimum
+// achievable cycle time (inverse throughput) equals the *maximum cycle
+// ratio* over directed cycles C of the underlying graph:
+//
+//     π = max over cycles C of  ( Σ delays on C ) / ( Σ tokens on C )
+//
+// A pipelined loop's steady-state period is therefore a structural
+// quantity — no simulation needed. We compute π by parametric search:
+// π is feasible iff the graph with edge weights (delay − π·tokens) has
+// no positive cycle (checked by Bellman-Ford), and binary-search π.
+#pragma once
+
+#include <optional>
+
+#include "petri/net.h"
+
+namespace camad::petri {
+
+/// Per-transition firing delays; index by TransitionId.
+using TransitionDelays = std::vector<double>;
+
+struct CycleTimeResult {
+  /// Maximum cycle ratio π (minimum steady-state period). 0 when the
+  /// net has no directed cycle (a pipeline drains in finite time).
+  double min_cycle_time = 0;
+  /// False when some cycle carries no token (the net deadlocks) — π is
+  /// unbounded in that case and min_cycle_time is meaningless.
+  bool live = true;
+};
+
+/// Analyzes a *marked graph* (every place 1-in/1-out; checked, throws
+/// ModelError otherwise) with the given transition delays and the net's
+/// initial marking as token counts.
+CycleTimeResult marked_graph_cycle_time(const Net& net,
+                                        const TransitionDelays& delays);
+
+}  // namespace camad::petri

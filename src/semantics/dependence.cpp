@@ -1,0 +1,136 @@
+#include "semantics/dependence.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace camad::semantics {
+namespace {
+
+using dcf::ArcId;
+using dcf::PortId;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+DynamicBitset to_bitset(const std::vector<VertexId>& vertices,
+                        std::size_t n) {
+  DynamicBitset out(n);
+  for (VertexId v : vertices) out.set(v.index());
+  return out;
+}
+
+}  // namespace
+
+std::vector<DynamicBitset> DependenceRelation::sequential_support(
+    const dcf::System& system) {
+  const dcf::DataPath& dp = system.datapath();
+  const std::size_t ports = dp.port_count();
+  const std::size_t verts = dp.vertex_count();
+
+  // Iterate to fixpoint: support(output port of sequential vertex) =
+  // {owner}; support(COM output) = union over its input ports; support
+  // (input port) = union over sources of *all* incoming arcs
+  // (conservative — activity is control-dependent).
+  std::vector<DynamicBitset> support(ports, DynamicBitset(verts));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v : dp.vertices()) {
+      for (PortId o : dp.output_ports(v)) {
+        DynamicBitset next(verts);
+        if (dcf::op_is_sequential(dp.operation(o).code)) {
+          next.set(v.index());
+        } else {
+          const int arity = dcf::op_arity(dp.operation(o).code);
+          const auto& ins = dp.input_ports(v);
+          for (int k = 0; k < arity; ++k) {
+            const PortId in = ins[static_cast<std::size_t>(k)];
+            for (ArcId a : dp.arcs_into(in)) {
+              next |= support[dp.arc_source(a).index()];
+            }
+          }
+        }
+        if (!(next == support[o.index()])) {
+          support[o.index()] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+  }
+  return support;
+}
+
+DependenceRelation::DependenceRelation(const dcf::System& system,
+                                       const DependenceOptions& options) {
+  const std::size_t n = system.control().net().place_count();
+  const std::size_t verts = system.datapath().vertex_count();
+  const petri::Net& net = system.control().net();
+
+  direct_.assign(n, DynamicBitset(n));
+
+  std::vector<DynamicBitset> result(n), domain(n);
+  std::vector<bool> external(n);
+  for (PlaceId s : net.places()) {
+    result[s.index()] = to_bitset(system.result_set(s), verts);
+    domain[s.index()] = to_bitset(system.domain(s), verts);
+    external[s.index()] = system.touches_environment(s);
+  }
+
+  // Clause (d) support: for each state, the union of sequential supports
+  // of guard ports on adjacent transitions.
+  std::vector<DynamicBitset> guard_support(n, DynamicBitset(verts));
+  if (options.clause_d) {
+    const auto port_support = sequential_support(system);
+    for (TransitionId t : net.transitions()) {
+      DynamicBitset s(verts);
+      for (PortId g : system.control().guards(t)) {
+        s |= port_support[g.index()];
+      }
+      if (s.none()) continue;
+      for (PlaceId p : net.pre(t)) guard_support[p.index()] |= s;
+      for (PlaceId p : net.post(t)) guard_support[p.index()] |= s;
+    }
+  }
+
+  auto mark = [&](std::size_t i, std::size_t j) {
+    direct_[i].set(j);
+    direct_[j].set(i);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (options.clause_a && result[i].intersects(domain[j])) mark(i, j);
+      else if (options.clause_b && result[j].intersects(domain[i])) mark(i, j);
+      else if (options.clause_c && result[i].intersects(result[j]))
+        mark(i, j);
+      else if (options.clause_d && (guard_support[i].intersects(result[j]) ||
+                                    guard_support[j].intersects(result[i])))
+        mark(i, j);
+      else if (options.clause_e && external[i] && external[j]) mark(i, j);
+    }
+  }
+
+  // Connected components of ↔ for the literal ◇.
+  component_.resize(n);
+  std::iota(component_.begin(), component_.end(), 0);
+  std::vector<std::size_t> stack;
+  std::vector<bool> seen(n, false);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    stack.push_back(root);
+    seen[root] = true;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      component_[v] = root;
+      direct_[v].for_each([&](std::size_t u) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      });
+    }
+  }
+}
+
+}  // namespace camad::semantics

@@ -1,0 +1,159 @@
+#include "semantics/equivalence.h"
+
+#include <algorithm>
+#include <map>
+
+#include "petri/order.h"
+
+namespace camad::semantics {
+namespace {
+
+using dcf::ArcId;
+using dcf::PortId;
+using dcf::VertexId;
+using petri::PlaceId;
+
+}  // namespace
+
+bool datapaths_identical(const dcf::DataPath& a, const dcf::DataPath& b) {
+  if (a.vertex_count() != b.vertex_count() ||
+      a.port_count() != b.port_count() || a.arc_count() != b.arc_count()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.vertex_count(); ++i) {
+    const VertexId v(static_cast<VertexId::underlying_type>(i));
+    if (a.name(v) != b.name(v) || a.kind(v) != b.kind(v) ||
+        a.input_ports(v) != b.input_ports(v) ||
+        a.output_ports(v) != b.output_ports(v)) {
+      return false;
+    }
+    for (PortId o : a.output_ports(v)) {
+      if (!(a.operation(o) == b.operation(o))) return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.arc_count(); ++i) {
+    const ArcId arc(static_cast<ArcId::underlying_type>(i));
+    if (a.arc_source(arc) != b.arc_source(arc) ||
+        a.arc_target(arc) != b.arc_target(arc)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+EquivalenceVerdict check_data_invariant(const dcf::System& gamma,
+                                        const dcf::System& gamma_prime,
+                                        const DataInvariantOptions& options) {
+  EquivalenceVerdict verdict;
+  auto fail = [&](const std::string& why) {
+    verdict.holds = false;
+    verdict.why = why;
+    return verdict;
+  };
+
+  if (!datapaths_identical(gamma.datapath(), gamma_prime.datapath())) {
+    return fail("data paths are not identical (Def 4.5 requires equal D)");
+  }
+
+  // Match states by name across the two systems. Control-only helper
+  // states added by a transformation (empty C) need not match.
+  const petri::Net& na = gamma.control().net();
+  const petri::Net& nb = gamma_prime.control().net();
+  std::map<std::string, PlaceId> by_name;
+  for (PlaceId p : nb.places()) {
+    if (by_name.contains(nb.name(p))) {
+      return fail("duplicate state name '" + nb.name(p) + "' in " +
+                  gamma_prime.name());
+    }
+    by_name[nb.name(p)] = p;
+  }
+
+  std::vector<std::pair<PlaceId, PlaceId>> matched;  // (in gamma, in prime)
+  for (PlaceId p : na.places()) {
+    const auto it = by_name.find(na.name(p));
+    if (it == by_name.end()) {
+      if (gamma.control().controlled_arcs(p).empty()) continue;
+      return fail("state '" + na.name(p) + "' missing from " +
+                  gamma_prime.name());
+    }
+    // C(S) must agree (Def 4.5 keeps the control mapping).
+    auto ca = gamma.control().controlled_arcs(p);
+    auto cb = gamma_prime.control().controlled_arcs(it->second);
+    std::sort(ca.begin(), ca.end());
+    std::sort(cb.begin(), cb.end());
+    if (ca != cb) {
+      return fail("C(" + na.name(p) + ") differs between systems");
+    }
+    matched.emplace_back(p, it->second);
+  }
+
+  const DependenceRelation dep_a(gamma, options.dependence);
+  const DependenceRelation dep_b(gamma_prime, options.dependence);
+  const petri::OrderRelations order_a(na);
+  const petri::OrderRelations order_b(nb);
+
+  auto dependent_a = [&](PlaceId i, PlaceId j) {
+    return options.strict_transitive ? dep_a.transitive(i, j)
+                                     : dep_a.direct(i, j);
+  };
+  auto dependent_b = [&](PlaceId i, PlaceId j) {
+    return options.strict_transitive ? dep_b.transitive(i, j)
+                                     : dep_b.direct(i, j);
+  };
+
+  for (const auto& [ai, bi] : matched) {
+    for (const auto& [aj, bj] : matched) {
+      if (ai == aj) continue;
+      // Def 4.5: S_i ⇒ S_j ∧ S_i ◇ S_j in Γ  ⟹  same in Γ'.
+      if (order_a.before(ai, aj) && dependent_a(ai, aj)) {
+        if (!order_b.before(bi, bj)) {
+          return fail("dependent order " + na.name(ai) + " => " +
+                      na.name(aj) + " lost in " + gamma_prime.name());
+        }
+        if (!dependent_b(bi, bj)) {
+          return fail("dependence " + na.name(ai) + " <-> " + na.name(aj) +
+                      " lost in " + gamma_prime.name());
+        }
+      }
+      // ... and vice versa.
+      if (order_b.before(bi, bj) && dependent_b(bi, bj)) {
+        if (!order_a.before(ai, aj)) {
+          return fail("dependent order " + nb.name(bi) + " => " +
+                      nb.name(bj) + " holds only in " + gamma_prime.name());
+        }
+      }
+    }
+  }
+  return verdict;
+}
+
+EquivalenceVerdict differential_equivalence(
+    const dcf::System& gamma, const dcf::System& gamma_prime,
+    const DifferentialOptions& options) {
+  EquivalenceVerdict verdict;
+  for (std::size_t k = 0; k < options.environments; ++k) {
+    const std::uint64_t seed = options.seed + k;
+    sim::Environment env_a =
+        sim::Environment::random_for(gamma, seed, options.stream_length,
+                                     options.value_lo, options.value_hi);
+    sim::Environment env_b =
+        sim::Environment::random_for(gamma_prime, seed, options.stream_length,
+                                     options.value_lo, options.value_hi);
+    const sim::SimResult ra = sim::simulate(gamma, env_a, options.sim);
+    const sim::SimResult rb = sim::simulate(gamma_prime, env_b, options.sim);
+
+    const EventStructure sa = EventStructure::extract(gamma, ra.trace);
+    const EventStructure sb =
+        EventStructure::extract(gamma_prime, rb.trace);
+    std::string why;
+    if (!sa.equivalent(sb, &why)) {
+      verdict.holds = false;
+      verdict.why =
+          "environment seed " + std::to_string(seed) + ": " + why;
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace camad::semantics

@@ -1,0 +1,65 @@
+// Equivalence checkers — Defs 4.1 and 4.5 plus the simulation oracle.
+//
+// Def 4.1 equivalence (equal external event structures over all
+// environments) is undecidable in general — the paper says so and
+// introduces the decidable *data-invariant* relation (Def 4.5) as the
+// sufficient condition its synthesis transformations maintain. We
+// implement:
+//   * check_data_invariant — the exact Def 4.5 test between two systems
+//     sharing a data path (states matched by name);
+//   * differential_equivalence — the falsification oracle: simulate both
+//     systems under N identical random environments and compare external
+//     event structures; can refute equivalence, never fully prove it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dcf/system.h"
+#include "semantics/dependence.h"
+#include "semantics/events.h"
+#include "sim/simulator.h"
+
+namespace camad::semantics {
+
+struct EquivalenceVerdict {
+  bool holds = true;
+  std::string why;  ///< first difference when !holds
+};
+
+/// Structural identity of two data paths (same vertices/kinds/names, same
+/// ports/ops in order, same arcs). Def 4.5 presupposes D, C, G, M0 equal.
+bool datapaths_identical(const dcf::DataPath& a, const dcf::DataPath& b);
+
+struct DataInvariantOptions {
+  DependenceOptions dependence;
+  /// Use the literal Def 4.4 closure ◇ instead of direct dependence ↔.
+  bool strict_transitive = false;
+};
+
+/// Def 4.5: for every pair of dependent states, sequential order in one
+/// system iff the same sequential order in the other. States are matched
+/// by name; both systems must carry identically named state sets over an
+/// identical data path, with equal C mappings per state.
+EquivalenceVerdict check_data_invariant(
+    const dcf::System& gamma, const dcf::System& gamma_prime,
+    const DataInvariantOptions& options = {});
+
+struct DifferentialOptions {
+  std::size_t environments = 8;
+  std::uint64_t seed = 42;
+  std::size_t stream_length = 64;
+  std::int64_t value_lo = 0;
+  std::int64_t value_hi = 99;
+  sim::SimOptions sim;
+};
+
+/// Runs both systems under the same random environments and compares the
+/// extracted external event structures (Def 4.1 applied to sampled
+/// behaviours). A failure is a genuine counterexample; success is
+/// evidence, not proof.
+EquivalenceVerdict differential_equivalence(
+    const dcf::System& gamma, const dcf::System& gamma_prime,
+    const DifferentialOptions& options = {});
+
+}  // namespace camad::semantics

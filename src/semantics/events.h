@@ -1,0 +1,75 @@
+// External event structures S(Γ) = (E, ≺, ≈) — Defs 3.3-3.6.
+//
+// Events are keyed by *channel* (the name of the external vertex an arc
+// touches) plus occurrence index, so structures extracted from two
+// different systems — e.g. before and after a vertex merger that
+// renumbers arcs — remain comparable as long as environment boundaries
+// keep their names (which every transformation preserves).
+//
+//   ≺ (precedent):  E_i ≺ E_j iff E_i occurred before E_j and the
+//                   controlling states satisfy S_i ⇒ S_j (Def 3.5);
+//   ≈ (concurrent): same instant, same controlling state.
+// Unrelated events are in the paper's "casual" relation — free to occur
+// in either order — and impose no constraint on equality.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dcf/system.h"
+#include "sim/trace.h"
+
+namespace camad::semantics {
+
+struct Event {
+  std::string channel;       ///< external vertex name
+  std::size_t occurrence;    ///< k-th event on this channel (0-based)
+  dcf::Value value;
+  std::uint64_t cycle;       ///< observation instant
+  petri::PlaceId state;      ///< controlling control state
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class EventStructure {
+ public:
+  /// Events in occurrence order.
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Value sequence of one channel.
+  [[nodiscard]] std::vector<dcf::Value> channel_values(
+      const std::string& channel) const;
+  [[nodiscard]] std::vector<std::string> channels() const;
+
+  /// Relation membership by event indices into events().
+  [[nodiscard]] bool precedes(std::size_t i, std::size_t j) const {
+    return precedent_.contains({i, j});
+  }
+  [[nodiscard]] bool concurrent(std::size_t i, std::size_t j) const {
+    return concurrent_.contains({std::min(i, j), std::max(i, j)});
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Structure equality per Def 4.1: same events per channel (values, in
+  /// order), same ≺, same ≈ — all keyed by (channel, occurrence).
+  /// `why` (optional) receives a description of the first difference.
+  [[nodiscard]] bool equivalent(const EventStructure& other,
+                                std::string* why = nullptr) const;
+
+  /// Builds the structure from a simulation trace. Uses the structural
+  /// order relation ⇒ of the system's control net for ≺.
+  static EventStructure extract(const dcf::System& system,
+                                const sim::Trace& trace);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Event> events_;
+  std::set<std::pair<std::size_t, std::size_t>> precedent_;
+  std::set<std::pair<std::size_t, std::size_t>> concurrent_;
+};
+
+}  // namespace camad::semantics

@@ -1,0 +1,329 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "petri/exec.h"
+#include "petri/marking.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace camad::sim {
+namespace {
+
+using dcf::ArcId;
+using dcf::OpCode;
+using dcf::Operation;
+using dcf::PortId;
+using dcf::Value;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+/// Per-cycle combinational evaluation over the active subgraph.
+///
+/// The evaluation *order* depends only on the active arc set, which is a
+/// function of the marked place set — loop bodies revisit the same
+/// markings every iteration, so orders are memoized per marked-set key.
+class PortEvaluator {
+ public:
+  explicit PortEvaluator(const dcf::System& system)
+      : system_(system), dp_(system.datapath()) {}
+
+  /// Evaluates all port values for the given set of active arcs.
+  /// `reg_state` is indexed by output-port id (kReg ports only);
+  /// env supplies kInput vertex values. Throws SimulationError on an
+  /// active combinational loop.
+  std::vector<Value> evaluate(const std::vector<PlaceId>& marked,
+                              const std::vector<bool>& arc_active,
+                              const std::vector<Value>& reg_state,
+                              const Environment& env,
+                              std::vector<std::string>& violations) {
+    const std::size_t ports = dp_.port_count();
+    const std::vector<PortId>& order = order_for(marked, arc_active);
+
+    std::vector<Value> value(ports, Value::undef());
+    std::vector<Value> operand_buffer;
+    for (const PortId port : order) {
+      if (dp_.direction(port) == dcf::PortDir::kIn) {
+        // Rule 10: value of an input port is defined only when exactly one
+        // pending arc is active; multiple active drivers are a conflict.
+        PortId source = PortId::invalid();
+        int active_count = 0;
+        for (ArcId a : dp_.arcs_into(port)) {
+          if (!arc_active[a.index()]) continue;
+          ++active_count;
+          source = dp_.arc_source(a);
+        }
+        if (active_count > 1) {
+          violations.push_back("input port " + dp_.name(port) + " driven by " +
+                               std::to_string(active_count) +
+                               " simultaneously active arcs");
+          value[port.index()] = Value::undef();
+        } else if (active_count == 1) {
+          value[port.index()] = value[source.index()];
+        }
+        continue;
+      }
+      const Operation& op = dp_.operation(port);
+      switch (op.code) {
+        case OpCode::kInput:
+          value[port.index()] = env.current(dp_.owner(port));
+          break;
+        case OpCode::kReg:
+          value[port.index()] = reg_state[port.index()];
+          break;
+        default: {
+          const int arity = dcf::op_arity(op.code);
+          const auto& ins = dp_.input_ports(dp_.owner(port));
+          operand_buffer.clear();
+          for (int k = 0; k < arity; ++k) {
+            operand_buffer.push_back(
+                value[ins[static_cast<std::size_t>(k)].index()]);
+          }
+          value[port.index()] = dcf::evaluate_op(op, operand_buffer);
+          break;
+        }
+      }
+    }
+    return value;
+  }
+
+ private:
+  /// Memoized topological evaluation order per marked-set key.
+  const std::vector<PortId>& order_for(const std::vector<PlaceId>& marked,
+                                       const std::vector<bool>& arc_active) {
+    std::string key;
+    key.reserve(marked.size() * 4);
+    for (PlaceId p : marked) {
+      key.append(reinterpret_cast<const char*>(&p), sizeof p);
+    }
+    const auto hit = order_cache_.find(key);
+    if (hit != order_cache_.end()) return hit->second;
+
+    // Dependency graph: active arcs (out -> in), plus in -> out inside
+    // each vertex for combinatorial output ports. Registers/environment
+    // sources have no incoming dependency edges — they break cycles.
+    const std::size_t ports = dp_.port_count();
+    graph::Digraph deps(ports);
+    for (ArcId a : dp_.arcs()) {
+      if (!arc_active[a.index()]) continue;
+      deps.add_edge(graph::NodeId(dp_.arc_source(a).value()),
+                    graph::NodeId(dp_.arc_target(a).value()));
+    }
+    for (VertexId v : dp_.vertices()) {
+      for (PortId o : dp_.output_ports(v)) {
+        const Operation& op = dp_.operation(o);
+        if (dcf::op_is_sequential(op.code)) continue;
+        const int arity = dcf::op_arity(op.code);
+        const auto& ins = dp_.input_ports(v);
+        for (int k = 0; k < arity; ++k) {
+          deps.add_edge(
+              graph::NodeId(ins[static_cast<std::size_t>(k)].value()),
+              graph::NodeId(o.value()));
+        }
+      }
+    }
+    const auto sorted = graph::topological_sort(deps);
+    if (!sorted) {
+      throw SimulationError("active combinational loop during evaluation");
+    }
+    std::vector<PortId> order;
+    order.reserve(sorted->size());
+    for (graph::NodeId node : *sorted) order.emplace_back(node.value());
+    return order_cache_.emplace(std::move(key), std::move(order))
+        .first->second;
+  }
+
+  const dcf::System& system_;
+  const dcf::DataPath& dp_;
+  std::unordered_map<std::string, std::vector<PortId>> order_cache_;
+};
+
+}  // namespace
+
+SimResult simulate(const dcf::System& system, Environment& env,
+                   const SimOptions& options) {
+  const dcf::DataPath& dp = system.datapath();
+  const dcf::ControlNet& cn = system.control();
+  const petri::Net& net = cn.net();
+
+  SimResult result;
+  petri::Marking marking = petri::Marking::initial(net);
+  PortEvaluator evaluator(system);
+
+  // Latched state per kReg output port; ⊥ at power-up.
+  std::vector<Value> reg_state(dp.port_count(), Value::undef());
+
+  // Tenure tracking: events fire when a token *arrives* in a state.
+  std::vector<bool> arrival(net.place_count(), false);
+  for (PlaceId p : net.places()) {
+    if (net.initial_tokens(p) > 0) arrival[p.index()] = true;
+  }
+
+  Rng rng(options.seed);
+  bool reported_unsafe = false;
+
+  for (std::uint64_t cycle = 0; cycle < options.max_cycles; ++cycle) {
+    if (marking.total() == 0) {  // rule 6
+      result.terminated = true;
+      break;
+    }
+    result.cycles = cycle + 1;
+    if (!marking.is_safe() && !reported_unsafe) {
+      result.violations.push_back("unsafe marking reached at cycle " +
+                                  std::to_string(cycle));
+      reported_unsafe = true;
+    }
+
+    // 1. Active arcs and their controlling (marked) state.
+    std::vector<bool> arc_active(dp.arc_count(), false);
+    std::vector<PlaceId> controller(dp.arc_count(), PlaceId::invalid());
+    const std::vector<PlaceId> marked = marking.marked_places();
+    for (PlaceId s : marked) {
+      for (ArcId a : cn.controlled_arcs(s)) {
+        arc_active[a.index()] = true;
+        if (!controller[a.index()].valid()) controller[a.index()] = s;
+      }
+    }
+
+    // 2. Combinational propagation (rules 7-10).
+    std::vector<Value> port_value;
+    try {
+      port_value = evaluator.evaluate(marked, arc_active, reg_state, env,
+                                      result.violations);
+    } catch (const SimulationError& e) {
+      result.violations.push_back(e.what());
+      break;
+    }
+
+    // 3. External events for arriving tenures (Def 3.4).
+    CycleRecord record;
+    record.cycle = cycle;
+    if (options.record_cycles) record.marked = marked;
+    for (ArcId a : dp.arcs()) {
+      if (!arc_active[a.index()] || !dp.is_external_arc(a)) continue;
+      const PlaceId s = controller[a.index()];
+      if (!s.valid() || !arrival[s.index()]) continue;
+      record.events.push_back(ExternalEvent{
+          a, port_value[dp.arc_source(a).index()], cycle, s});
+    }
+
+    // 4. Guard evaluation (rule 4: OR over guard ports, ⊥ is not TRUE).
+    auto guard_true = [&](TransitionId t) {
+      const auto& guards = cn.guards(t);
+      if (guards.empty()) return true;
+      return std::any_of(guards.begin(), guards.end(), [&](PortId g) {
+        return port_value[g.index()].truthy();
+      });
+    };
+
+    // Guard-conflict monitor (Def 3.2 rule 3, dynamic side).
+    for (PlaceId p : marked) {
+      const auto& succs = net.post(p);
+      if (succs.size() < 2) continue;
+      int fireable = 0;
+      for (TransitionId t : succs) {
+        if (petri::is_enabled(net, marking, t) && guard_true(t)) ++fireable;
+      }
+      if (fireable > 1) {
+        result.violations.push_back("guard conflict at place " + net.name(p) +
+                                    " (cycle " + std::to_string(cycle) + ")");
+      }
+    }
+
+    // 5. Fire (rules 3-5) under the selected policy.
+    std::vector<TransitionId> order = net.transitions();
+    if (options.policy == FiringPolicy::kRandomOrder) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.below(i)]);
+      }
+    } else if (options.policy == FiringPolicy::kSingleRandom) {
+      std::vector<TransitionId> fireable;
+      for (TransitionId t : order) {
+        if (petri::is_enabled(net, marking, t) && guard_true(t)) {
+          fireable.push_back(t);
+        }
+      }
+      order.clear();
+      if (!fireable.empty()) {
+        order.push_back(fireable[rng.below(fireable.size())]);
+      }
+    }
+    const std::vector<TransitionId> fired =
+        petri::fire_step_in_order(net, marking, order, guard_true);
+    if (options.record_cycles) record.fired = fired;
+
+    // 6. Latch sequential outputs when their controlling tenure *ends*
+    // (rule 9: ":=" commits the last defined value as control advances).
+    // Latching only at departure — not every marked cycle — matters for
+    // self-referential updates (n := n - 1): a state waiting at a join
+    // must not re-execute its operation each cycle.
+    std::vector<std::pair<std::size_t, Value>> latches;
+    std::unordered_set<VertexId> consume;
+    for (TransitionId t : fired) {
+      for (PlaceId p : net.pre(t)) {
+        for (ArcId a : cn.controlled_arcs(p)) {
+          const VertexId src = dp.arc_source_vertex(a);
+          if (dp.kind(src) == dcf::VertexKind::kInput) consume.insert(src);
+
+          const PortId target = dp.arc_target(a);
+          const VertexId dst = dp.owner(target);
+          for (PortId o : dp.output_ports(dst)) {
+            if (dp.operation(o).code != OpCode::kReg) continue;
+            const auto& ins = dp.input_ports(dst);
+            if (ins.empty() || ins.front() != target) continue;
+            if (port_value[target.index()].defined()) {
+              latches.emplace_back(o.index(), port_value[target.index()]);
+            }
+          }
+        }
+      }
+    }
+    bool any_reg_changed = false;
+    for (const auto& [index, value] : latches) {
+      if (reg_state[index] != value) any_reg_changed = true;
+      reg_state[index] = value;
+    }
+
+    // 7. Environment streams advance when the reading tenure ends
+    // (collected above alongside the latches).
+    for (VertexId v : consume) env.consume(v);
+
+    // 8. Next cycle's arrivals = post-sets of fired transitions.
+    std::fill(arrival.begin(), arrival.end(), false);
+    for (TransitionId t : fired) {
+      for (PlaceId p : net.post(t)) arrival[p.index()] = true;
+    }
+
+    if (options.record_registers) record.registers = reg_state;
+    if (options.record_cycles || !record.events.empty()) {
+      result.trace.cycles.push_back(std::move(record));
+    }
+
+    // Stuck detection: nothing fired, no register changed and no stream
+    // advanced — the configuration can never evolve again.
+    if (fired.empty() && !any_reg_changed && consume.empty() &&
+        marking.total() > 0) {
+      result.deadlocked = true;
+      break;
+    }
+  }
+
+  result.final_registers.assign(dp.vertex_count(), Value::undef());
+  for (VertexId v : dp.vertices()) {
+    for (PortId o : dp.output_ports(v)) {
+      if (dp.operation(o).code == OpCode::kReg) {
+        result.final_registers[v.index()] = reg_state[o.index()];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace camad::sim

@@ -1,0 +1,69 @@
+// Cycle-accurate executor of the Def 3.1 behaviour rules.
+//
+// One cycle:
+//   1. if no token exists anywhere, execution has terminated (rule 6);
+//   2. the arcs controlled by marked states open (rule 8);
+//   3. port values propagate combinationally over the active subgraph in
+//      topological order (rules 7-10): register and environment outputs
+//      are state, combinatorial outputs recompute, inactive inputs are ⊥;
+//   4. an external event (A, w) is recorded for every active external arc
+//      (Def 3.4);
+//   5. transitions whose input states are all marked and whose OR-ed
+//      guard value is TRUE fire as a step (rules 3-5) under the selected
+//      policy;
+//   6. sequential outputs latch their input value if it is defined
+//      (rule 9's "last defined value");
+//   7. the environment stream of every input vertex read this cycle
+//      advances.
+//
+// Firing policies exist to *test* the confluence claim behind Def 3.2:
+// for properly designed systems every policy must produce the same
+// external event structure; for improper ones they may diverge (E7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcf/system.h"
+#include "sim/environment.h"
+#include "sim/trace.h"
+
+namespace camad::sim {
+
+enum class FiringPolicy : std::uint8_t {
+  kMaximalStep,   ///< fire every enabled+guarded transition, id order
+  kRandomOrder,   ///< maximal step in a seed-shuffled order
+  kSingleRandom,  ///< fire exactly one randomly chosen transition per cycle
+};
+
+struct SimOptions {
+  std::uint64_t max_cycles = 100000;
+  FiringPolicy policy = FiringPolicy::kMaximalStep;
+  std::uint64_t seed = 1;  ///< for the random policies
+  /// Record per-cycle marked/fired detail (events are always recorded).
+  bool record_cycles = true;
+  /// Additionally record post-latch register state per cycle (indexed by
+  /// output-port id); needed by the VCD waveform writer.
+  bool record_registers = false;
+};
+
+struct SimResult {
+  Trace trace;
+  bool terminated = false;       ///< zero-token marking reached (rule 6)
+  bool deadlocked = false;       ///< tokens remain but nothing can fire and
+                                 ///< nothing will change (guard-stuck)
+  std::uint64_t cycles = 0;
+  /// Runtime design-rule violations observed while executing: input-port
+  /// drive conflicts, guard conflicts at shared places, unsafe markings.
+  std::vector<std::string> violations;
+  /// Final register states by vertex id (diagnostics).
+  std::vector<dcf::Value> final_registers;
+};
+
+/// Runs the system against the environment. The environment is mutated
+/// (streams advance); rewind() it to reuse.
+SimResult simulate(const dcf::System& system, Environment& env,
+                   const SimOptions& options = {});
+
+}  // namespace camad::sim

@@ -1,0 +1,53 @@
+// Execution traces and the external events recorded along them (Def 3.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcf/system.h"
+#include "dcf/value.h"
+#include "petri/net.h"
+
+namespace camad::sim {
+
+/// An observed external event (A_i, w), labelled with the control state
+/// whose token caused it and the cycle at which it occurred.
+struct ExternalEvent {
+  dcf::ArcId arc;
+  dcf::Value value;
+  std::uint64_t cycle = 0;
+  petri::PlaceId state;  ///< controlling state (marked owner of the arc)
+
+  friend bool operator==(const ExternalEvent&, const ExternalEvent&) = default;
+};
+
+/// One simulator cycle: which states held tokens, what fired, what was
+/// observed at the boundary.
+struct CycleRecord {
+  std::uint64_t cycle = 0;
+  std::vector<petri::PlaceId> marked;
+  std::vector<petri::TransitionId> fired;
+  std::vector<ExternalEvent> events;
+  /// Register state per kReg output port at the *end* of the cycle
+  /// (after latching); only filled when SimOptions::record_registers.
+  std::vector<dcf::Value> registers;
+};
+
+struct Trace {
+  std::vector<CycleRecord> cycles;
+
+  /// All external events in occurrence order (cycle-major, then recording
+  /// order within a cycle).
+  [[nodiscard]] std::vector<ExternalEvent> events() const;
+
+  /// The value sequence observed at one external arc.
+  [[nodiscard]] std::vector<dcf::Value> values_at(dcf::ArcId arc) const;
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Human-readable dump (one line per cycle) for debugging and examples.
+  [[nodiscard]] std::string to_string(const dcf::System& system) const;
+};
+
+}  // namespace camad::sim

@@ -1,0 +1,21 @@
+// VCD (Value Change Dump) waveform export.
+//
+// Renders a simulation trace as an IEEE-1364 VCD file viewable in any
+// waveform viewer (GTKWave etc.): one 64-bit signal per register, one
+// 1-bit signal per control state (token present), plus the fired
+// transitions as events. Requires the trace to have been recorded with
+// SimOptions::record_cycles and ::record_registers.
+#pragma once
+
+#include <string>
+
+#include "dcf/system.h"
+#include "sim/trace.h"
+
+namespace camad::sim {
+
+/// VCD text for the trace. Undefined register values render as 'x'.
+/// Throws SimulationError if the trace lacks per-cycle register records.
+std::string to_vcd(const dcf::System& system, const Trace& trace);
+
+}  // namespace camad::sim

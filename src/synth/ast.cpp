@@ -1,0 +1,182 @@
+#include "synth/ast.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace camad::synth {
+
+ExprPtr Expr::literal_of(std::int64_t value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = value;
+  return e;
+}
+
+ExprPtr Expr::variable(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVariable;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::unary(dcf::OpCode op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::binary(dcf::OpCode op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::mux(ExprPtr cond, ExprPtr then_value, ExprPtr else_value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kMux;
+  e->op = dcf::OpCode::kMux;
+  e->lhs = std::move(cond);
+  e->rhs = std::move(then_value);
+  e->third = std::move(else_value);
+  return e;
+}
+
+namespace {
+
+std::string op_symbol(dcf::OpCode op) {
+  using dcf::OpCode;
+  switch (op) {
+    case OpCode::kAdd: return "+";
+    case OpCode::kSub: return "-";
+    case OpCode::kMul: return "*";
+    case OpCode::kDiv: return "/";
+    case OpCode::kMod: return "%";
+    case OpCode::kAnd: return "&";
+    case OpCode::kOr: return "|";
+    case OpCode::kXor: return "^";
+    case OpCode::kShl: return "<<";
+    case OpCode::kShr: return ">>";
+    case OpCode::kEq: return "==";
+    case OpCode::kNe: return "!=";
+    case OpCode::kLt: return "<";
+    case OpCode::kLe: return "<=";
+    case OpCode::kGt: return ">";
+    case OpCode::kGe: return ">=";
+    case OpCode::kNeg: return "-";
+    case OpCode::kNot: return "!";
+    default:
+      throw Error("op_symbol: no BDL syntax for " +
+                  std::string(dcf::op_name(op)));
+  }
+}
+
+void print_expr(const Expr& e, std::ostream& os) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: os << e.literal; break;
+    case ExprKind::kVariable: os << e.name; break;
+    case ExprKind::kUnary:
+      os << op_symbol(e.op) << '(';
+      print_expr(*e.lhs, os);
+      os << ')';
+      break;
+    case ExprKind::kBinary:
+      os << '(';
+      print_expr(*e.lhs, os);
+      os << ' ' << op_symbol(e.op) << ' ';
+      print_expr(*e.rhs, os);
+      os << ')';
+      break;
+    case ExprKind::kMux:
+      os << "mux(";
+      print_expr(*e.lhs, os);
+      os << ", ";
+      print_expr(*e.rhs, os);
+      os << ", ";
+      print_expr(*e.third, os);
+      os << ')';
+      break;
+  }
+}
+
+void print_block(const Block& block, std::ostream& os, int depth);
+
+void print_stmt(const Stmt& s, std::ostream& os, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      os << pad << s.target << " := ";
+      print_expr(*s.value, os);
+      os << ";\n";
+      break;
+    case StmtKind::kIf:
+      os << pad << "if ";
+      print_expr(*s.cond, os);
+      os << " {\n";
+      print_block(s.body, os, depth + 1);
+      os << pad << "}";
+      if (!s.els.stmts.empty()) {
+        os << " else {\n";
+        print_block(s.els, os, depth + 1);
+        os << pad << "}";
+      }
+      os << "\n";
+      break;
+    case StmtKind::kWhile:
+      os << pad << "while ";
+      print_expr(*s.cond, os);
+      os << " {\n";
+      print_block(s.body, os, depth + 1);
+      os << pad << "}\n";
+      break;
+    case StmtKind::kPar:
+      os << pad << "par {\n";
+      for (const Block& branch : s.branches) {
+        os << pad << "  branch {\n";
+        print_block(branch, os, depth + 2);
+        os << pad << "  }\n";
+      }
+      os << pad << "}\n";
+      break;
+  }
+}
+
+void print_block(const Block& block, std::ostream& os, int depth) {
+  for (const StmtPtr& s : block.stmts) print_stmt(*s, os, depth);
+}
+
+}  // namespace
+
+std::string to_source(const Expr& expr) {
+  std::ostringstream os;
+  print_expr(expr, os);
+  return os.str();
+}
+
+std::string to_source(const Program& program) {
+  std::ostringstream os;
+  os << "design " << program.name << " {\n";
+  auto decl = [&](const char* kind, const std::vector<std::string>& names) {
+    if (names.empty()) return;
+    os << "  " << kind << ' ';
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << names[i];
+    }
+    os << ";\n";
+  };
+  decl("in", program.inputs);
+  decl("out", program.outputs);
+  decl("var", program.variables);
+  os << "  begin\n";
+  print_block(program.body, os, 2);
+  os << "  end\n}\n";
+  return os.str();
+}
+
+}  // namespace camad::synth

@@ -1,0 +1,97 @@
+// Abstract syntax of BDL, the small behavioural design language.
+//
+// BDL reconstructs the role of CAMAD's algorithmic input notation: a
+// structured imperative language whose constructs map one-to-one onto
+// control-net shapes (sequence, guarded branch, loop, explicit
+// parallelism). Example:
+//
+//   design gcd {
+//     in a, b;
+//     out g;
+//     var x, y;
+//     begin
+//       x := a;
+//       y := b;
+//       while x != y {
+//         if x > y { x := x - y; } else { y := y - x; }
+//       }
+//       g := x;
+//     end
+//   }
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcf/ops.h"
+
+namespace camad::synth {
+
+// --- expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t { kLiteral, kVariable, kUnary, kBinary, kMux };
+
+struct Expr {
+  ExprKind kind;
+  // kLiteral
+  std::int64_t literal = 0;
+  // kVariable (a var, in, or out name)
+  std::string name;
+  // kUnary / kBinary: the data-path operation this node lowers to.
+  dcf::OpCode op = dcf::OpCode::kPass;
+  ExprPtr lhs;    // operand / left operand / mux condition
+  ExprPtr rhs;    // right operand (binary) / mux then-value
+  ExprPtr third;  // mux else-value (kMux only)
+
+  static ExprPtr literal_of(std::int64_t value);
+  static ExprPtr variable(std::string name);
+  static ExprPtr unary(dcf::OpCode op, ExprPtr operand);
+  static ExprPtr binary(dcf::OpCode op, ExprPtr lhs, ExprPtr rhs);
+  /// mux(cond, a, b): branchless select over the kMux unit.
+  static ExprPtr mux(ExprPtr cond, ExprPtr then_value, ExprPtr else_value);
+};
+
+// --- statements --------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block {
+  std::vector<StmtPtr> stmts;
+};
+
+enum class StmtKind : std::uint8_t { kAssign, kIf, kWhile, kPar };
+
+struct Stmt {
+  StmtKind kind;
+  // kAssign
+  std::string target;
+  ExprPtr value;
+  // kIf / kWhile
+  ExprPtr cond;
+  Block body;      // then-branch / loop body
+  Block els;       // else-branch (kIf only; may be empty)
+  // kPar: independent blocks executed concurrently
+  std::vector<Block> branches;
+};
+
+// --- program ------------------------------------------------------------------
+
+struct Program {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> variables;
+  Block body;
+};
+
+/// Pretty-prints a program in parseable BDL (round-trip tested).
+std::string to_source(const Program& program);
+std::string to_source(const Expr& expr);
+
+}  // namespace camad::synth

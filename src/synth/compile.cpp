@@ -1,0 +1,279 @@
+#include "synth/compile.h"
+
+#include <map>
+#include <variant>
+
+#include "synth/parser.h"
+#include "util/error.h"
+
+namespace camad::synth {
+namespace {
+
+using dcf::ArcId;
+using dcf::OpCode;
+using dcf::PortId;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+/// A fragment's loose end: either a resting place (needs a transition to
+/// leave) or a dangling transition (needs a post place to arrive).
+using End = std::variant<PlaceId, TransitionId>;
+
+struct Fragment {
+  PlaceId entry;
+  std::vector<End> ends;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const Program& program) : program_(program) {}
+
+  dcf::System run(CompileStats* stats) {
+    for (const std::string& name : program_.inputs) {
+      symbols_[name] = dp_.add_input(name);
+    }
+    for (const std::string& name : program_.outputs) {
+      symbols_[name] = dp_.add_output(name);
+    }
+    for (const std::string& name : program_.variables) {
+      symbols_[name] = dp_.add_register(name);
+      ++stats_.registers;
+    }
+    if (program_.body.stmts.empty()) {
+      throw ModelError("compile: empty design body");
+    }
+
+    const Fragment body = compile_block(program_.body);
+    cn_.net().set_initial_tokens(body.entry, 1);
+    // Loose place-ends get a terminating transition (empty post-set);
+    // dangling transitions terminate as they are.
+    for (const End& end : body.ends) {
+      if (const auto* place = std::get_if<PlaceId>(&end)) {
+        const TransitionId t = cn_.add_transition(fresh("Tend"));
+        cn_.net().connect(*place, t);
+      }
+    }
+
+    stats_.states = cn_.net().place_count();
+    stats_.transitions = cn_.net().transition_count();
+    if (stats != nullptr) *stats = stats_;
+
+    dcf::System system(std::move(dp_), std::move(cn_), program_.name);
+    system.validate();
+    return system;
+  }
+
+ private:
+  std::string fresh(const std::string& base) {
+    return base + "_" + std::to_string(counter_++);
+  }
+
+  // --- expression lowering --------------------------------------------------
+  /// Lowers `e` into fresh units whose arcs are controlled by `state`;
+  /// returns the output port carrying the expression's value while
+  /// `state` is marked.
+  PortId lower_expr(const Expr& e, PlaceId state) {
+    switch (e.kind) {
+      case ExprKind::kLiteral: {
+        const VertexId c = dp_.add_constant(
+            fresh("c" + std::to_string(e.literal)), e.literal);
+        ++stats_.constants;
+        return dp_.output_ports(c)[0];
+      }
+      case ExprKind::kVariable: {
+        const VertexId v = symbols_.at(e.name);
+        if (dp_.kind(v) == dcf::VertexKind::kOutput) {
+          throw ModelError("compile: output '" + e.name + "' is write-only");
+        }
+        return dp_.output_ports(v)[0];
+      }
+      case ExprKind::kUnary: {
+        const VertexId unit =
+            dp_.add_unit(fresh(std::string(dcf::op_name(e.op))), e.op);
+        ++stats_.functional_units;
+        connect_controlled(lower_expr(*e.lhs, state),
+                           dp_.input_ports(unit)[0], state);
+        return dp_.output_ports(unit)[0];
+      }
+      case ExprKind::kBinary: {
+        const VertexId unit =
+            dp_.add_unit(fresh(std::string(dcf::op_name(e.op))), e.op);
+        ++stats_.functional_units;
+        connect_controlled(lower_expr(*e.lhs, state),
+                           dp_.input_ports(unit)[0], state);
+        connect_controlled(lower_expr(*e.rhs, state),
+                           dp_.input_ports(unit)[1], state);
+        return dp_.output_ports(unit)[0];
+      }
+      case ExprKind::kMux: {
+        const VertexId unit = dp_.add_unit(fresh("mux"), OpCode::kMux);
+        ++stats_.functional_units;
+        connect_controlled(lower_expr(*e.lhs, state),
+                           dp_.input_ports(unit)[0], state);
+        connect_controlled(lower_expr(*e.rhs, state),
+                           dp_.input_ports(unit)[1], state);
+        connect_controlled(lower_expr(*e.third, state),
+                           dp_.input_ports(unit)[2], state);
+        return dp_.output_ports(unit)[0];
+      }
+    }
+    throw ModelError("compile: unreachable expression kind");
+  }
+
+  void connect_controlled(PortId from, PortId to, PlaceId state) {
+    const ArcId arc = dp_.add_arc(from, to);
+    cn_.control(state, arc);
+  }
+
+  /// Test-state scaffolding shared by if/while: lowers the condition in
+  /// `state`, latches it into a flag register (Def 3.2 rule 5) and builds
+  /// the kNot complement. Returns {positive guard port, negative}.
+  std::pair<PortId, PortId> lower_condition(const Expr& cond, PlaceId state) {
+    const PortId root = lower_expr(cond, state);
+    const VertexId flag = dp_.add_register(fresh("flag"));
+    ++stats_.registers;
+    connect_controlled(root, dp_.input_ports(flag)[0], state);
+    const VertexId inv = dp_.add_unit(fresh("not"), OpCode::kNot);
+    ++stats_.functional_units;
+    connect_controlled(root, dp_.input_ports(inv)[0], state);
+    return {root, dp_.output_ports(inv)[0]};
+  }
+
+  // --- statement lowering ------------------------------------------------------
+  /// Connects every loose end of `fragment` to the place `to`.
+  void attach(const std::vector<End>& ends, PlaceId to) {
+    for (const End& end : ends) {
+      if (const auto* place = std::get_if<PlaceId>(&end)) {
+        const TransitionId t = cn_.add_transition(fresh("T"));
+        cn_.net().connect(*place, t);
+        cn_.net().connect(t, to);
+      } else {
+        cn_.net().connect(std::get<TransitionId>(end), to);
+      }
+    }
+  }
+
+  Fragment compile_block(const Block& block) {
+    Fragment result;
+    bool first = true;
+    for (const StmtPtr& stmt : block.stmts) {
+      Fragment f = compile_stmt(*stmt);
+      if (first) {
+        result.entry = f.entry;
+        first = false;
+      } else {
+        attach(result.ends, f.entry);
+      }
+      result.ends = std::move(f.ends);
+    }
+    if (first) {
+      // Empty block (e.g. missing else): a control-only pass-through state.
+      const PlaceId s = cn_.add_state(fresh("Snop"));
+      result.entry = s;
+      result.ends = {End{s}};
+    }
+    return result;
+  }
+
+  Fragment compile_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kAssign: {
+        const PlaceId s = cn_.add_state(fresh("S_" + stmt.target));
+        const PortId value = lower_expr(*stmt.value, s);
+        const VertexId target = symbols_.at(stmt.target);
+        if (dp_.kind(target) == dcf::VertexKind::kInput) {
+          throw ModelError("compile: input '" + stmt.target +
+                           "' is read-only");
+        }
+        connect_controlled(value, dp_.input_ports(target)[0], s);
+        return Fragment{s, {End{s}}};
+      }
+      case StmtKind::kIf: {
+        const PlaceId s_test = cn_.add_state(fresh("Sif"));
+        const auto [pos, neg] = lower_condition(*stmt.cond, s_test);
+
+        const Fragment then_frag = compile_block(stmt.body);
+        const TransitionId t_then = cn_.add_transition(fresh("Tthen"));
+        cn_.guard(t_then, pos);
+        cn_.net().connect(s_test, t_then);
+        cn_.net().connect(t_then, then_frag.entry);
+
+        Fragment result{s_test, then_frag.ends};
+        if (stmt.els.stmts.empty()) {
+          const TransitionId t_else = cn_.add_transition(fresh("Tskip"));
+          cn_.guard(t_else, neg);
+          cn_.net().connect(s_test, t_else);
+          result.ends.push_back(End{t_else});
+        } else {
+          const Fragment else_frag = compile_block(stmt.els);
+          const TransitionId t_else = cn_.add_transition(fresh("Telse"));
+          cn_.guard(t_else, neg);
+          cn_.net().connect(s_test, t_else);
+          cn_.net().connect(t_else, else_frag.entry);
+          result.ends.insert(result.ends.end(), else_frag.ends.begin(),
+                             else_frag.ends.end());
+        }
+        return result;
+      }
+      case StmtKind::kWhile: {
+        const PlaceId s_test = cn_.add_state(fresh("Swhile"));
+        const auto [pos, neg] = lower_condition(*stmt.cond, s_test);
+
+        const Fragment body = compile_block(stmt.body);
+        const TransitionId t_body = cn_.add_transition(fresh("Tloop"));
+        cn_.guard(t_body, pos);
+        cn_.net().connect(s_test, t_body);
+        cn_.net().connect(t_body, body.entry);
+        attach(body.ends, s_test);  // back edge
+
+        const TransitionId t_exit = cn_.add_transition(fresh("Texit"));
+        cn_.guard(t_exit, neg);
+        cn_.net().connect(s_test, t_exit);
+        return Fragment{s_test, {End{t_exit}}};
+      }
+      case StmtKind::kPar: {
+        const PlaceId s_fork = cn_.add_state(fresh("Spar"));
+        const TransitionId t_fork = cn_.add_transition(fresh("Tfork"));
+        cn_.net().connect(s_fork, t_fork);
+        const TransitionId t_join = cn_.add_transition(fresh("Tjoin"));
+        for (const Block& branch : stmt.branches) {
+          const Fragment f = compile_block(branch);
+          cn_.net().connect(t_fork, f.entry);
+          // Each branch funnels into one join input. A single place-end
+          // feeds the join directly; anything else goes through a
+          // control-only collector place.
+          if (f.ends.size() == 1 &&
+              std::holds_alternative<PlaceId>(f.ends[0])) {
+            cn_.net().connect(std::get<PlaceId>(f.ends[0]), t_join);
+          } else {
+            const PlaceId collect = cn_.add_state(fresh("Sjoin"));
+            attach(f.ends, collect);
+            cn_.net().connect(collect, t_join);
+          }
+        }
+        return Fragment{s_fork, {End{t_join}}};
+      }
+    }
+    throw ModelError("compile: unreachable statement kind");
+  }
+
+  const Program& program_;
+  dcf::DataPath dp_;
+  dcf::ControlNet cn_;
+  std::map<std::string, VertexId> symbols_;
+  CompileStats stats_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+dcf::System compile(const Program& program, CompileStats* stats) {
+  return Compiler(program).run(stats);
+}
+
+dcf::System compile_source(std::string_view source, CompileStats* stats) {
+  return compile(parse_program(source), stats);
+}
+
+}  // namespace camad::synth

@@ -1,0 +1,43 @@
+// BDL -> data/control flow compiler: the "preliminary design" generator.
+//
+// The compile strategy reproduces CAMAD's starting point (Sec 5): maximal
+// hardware, serial control. Concretely:
+//   * every `in`/`out` becomes an external vertex, every `var` a register;
+//   * every operator *occurrence* gets a fresh functional unit and every
+//     literal a fresh constant vertex — sharing is introduced later by
+//     control-invariant mergers, never assumed;
+//   * every assignment becomes one control state that opens the whole
+//     register -> expression tree -> register path (so dom(S) includes all
+//     sources, which the dependence analysis relies on);
+//   * `if`/`while` conditions compile into a predicate tree active in the
+//     test state, guarding the branch transitions with the tree root and
+//     its kNot complement (the pattern dcf::check proves conflict-free),
+//     plus a flag register latch to satisfy Def 3.2 rule 5;
+//   * `par` compiles to an explicit fork/join;
+//   * statements chain serially; the final transition has an empty
+//     post-set so the net terminates with zero tokens (Def 3.1 rule 6).
+#pragma once
+
+#include "dcf/system.h"
+#include "synth/ast.h"
+
+namespace camad::synth {
+
+struct CompileStats {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t functional_units = 0;  ///< COM vertices created
+  std::size_t registers = 0;
+  std::size_t constants = 0;
+};
+
+/// Compiles a program into a properly designed serial system.
+/// Throws ModelError / DesignRuleError if the program produces an
+/// improper design (e.g. a `par` whose branches write the same variable).
+dcf::System compile(const Program& program, CompileStats* stats = nullptr);
+
+/// Convenience: parse + compile.
+dcf::System compile_source(std::string_view source,
+                           CompileStats* stats = nullptr);
+
+}  // namespace camad::synth

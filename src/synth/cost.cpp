@@ -1,0 +1,124 @@
+#include "synth/cost.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace camad::synth {
+
+AreaReport estimate_area(const dcf::System& system, const ModuleLibrary& lib) {
+  const dcf::DataPath& dp = system.datapath();
+  AreaReport report;
+  for (dcf::VertexId v : dp.vertices()) {
+    if (dp.kind(v) != dcf::VertexKind::kInternal) continue;
+    double area = 0;
+    bool is_reg = false;
+    bool is_const = false;
+    for (dcf::PortId o : dp.output_ports(v)) {
+      const dcf::OpCode code = dp.operation(o).code;
+      area += lib.module_for(code).area;
+      is_reg |= (code == dcf::OpCode::kReg);
+      is_const |= (code == dcf::OpCode::kConst);
+    }
+    if (is_reg) {
+      report.registers += area;
+    } else if (is_const) {
+      report.constants += area;
+    } else {
+      report.functional_units += area;
+    }
+  }
+  // Steering: an input port with n pending arcs needs an n-way mux.
+  for (dcf::VertexId v : dp.vertices()) {
+    for (dcf::PortId in : dp.input_ports(v)) {
+      report.steering += lib.mux_area(dp.arcs_into(in).size());
+    }
+  }
+  return report;
+}
+
+TimingReport estimate_cycle_time(const dcf::System& system,
+                                 const ModuleLibrary& lib) {
+  const dcf::DataPath& dp = system.datapath();
+  TimingReport report;
+  const double scale = 100.0;  // fixed-point ns for integer longest-path
+
+  for (petri::PlaceId s : system.control().net().places()) {
+    // Port-level DAG of the state's active subgraph, node weight = module
+    // delay of the producing operation; mux delay on multi-driven inputs.
+    graph::Digraph g(dp.port_count());
+    std::vector<std::int64_t> weight(dp.port_count(), 0);
+    std::vector<bool> active_vertex(dp.vertex_count(), false);
+    for (dcf::ArcId a : system.control().controlled_arcs(s)) {
+      g.add_edge(graph::NodeId(dp.arc_source(a).value()),
+                 graph::NodeId(dp.arc_target(a).value()));
+      active_vertex[dp.arc_source_vertex(a).index()] = true;
+      active_vertex[dp.arc_target_vertex(a).index()] = true;
+    }
+    for (dcf::VertexId v : dp.vertices()) {
+      if (!active_vertex[v.index()]) continue;  // unit idle in this state
+      for (dcf::PortId o : dp.output_ports(v)) {
+        const dcf::Operation& op = dp.operation(o);
+        weight[o.index()] = static_cast<std::int64_t>(
+            lib.module_for(op.code).delay * scale);
+        if (dcf::op_is_sequential(op.code)) continue;
+        const int arity = dcf::op_arity(op.code);
+        const auto& ins = dp.input_ports(v);
+        for (int k = 0; k < arity; ++k) {
+          g.add_edge(graph::NodeId(ins[static_cast<std::size_t>(k)].value()),
+                     graph::NodeId(o.value()));
+        }
+      }
+      for (dcf::PortId in : dp.input_ports(v)) {
+        if (dp.arcs_into(in).size() > 1) {
+          weight[in.index()] =
+              static_cast<std::int64_t>(lib.mux_delay() * scale);
+        }
+      }
+    }
+    std::int64_t best;
+    try {
+      best = graph::longest_path(g, weight).best;
+    } catch (const ModelError&) {
+      // Active combinational loop (improper design): treat as unbounded.
+      best = std::numeric_limits<std::int64_t>::max() / 2;
+    }
+    const double path_ns = static_cast<double>(best) / scale;
+    if (path_ns > report.cycle_time) {
+      report.cycle_time = path_ns;
+      report.critical_state = s;
+    }
+  }
+  return report;
+}
+
+PerformanceReport measure_performance(const dcf::System& system,
+                                      const ModuleLibrary& lib,
+                                      const MeasureOptions& options) {
+  PerformanceReport report;
+  report.cycle_time = estimate_cycle_time(system, lib).cycle_time;
+
+  double total = 0;
+  for (std::size_t k = 0; k < options.environments; ++k) {
+    sim::Environment env = sim::Environment::random_for(
+        system, options.seed + k, options.stream_length, options.value_lo,
+        options.value_hi);
+    sim::SimOptions sim_options;
+    sim_options.max_cycles = options.max_cycles;
+    sim_options.record_cycles = false;
+    const sim::SimResult result = sim::simulate(system, env, sim_options);
+    report.all_terminated &= result.terminated;
+    report.max_cycles = std::max(report.max_cycles, result.cycles);
+    total += static_cast<double>(result.cycles);
+  }
+  report.mean_cycles =
+      options.environments == 0
+          ? 0
+          : total / static_cast<double>(options.environments);
+  return report;
+}
+
+}  // namespace camad::synth

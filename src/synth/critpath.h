@@ -1,0 +1,48 @@
+// Structural critical-path analysis over the control net.
+//
+// Section 5: "A critical path analysis technique is used ... to guide the
+// transformation process." We weight every control state with its
+// combinational path delay (from the module library), condense loops
+// (SCCs of the state graph) with annotated trip counts, and take the
+// longest path through the condensation. The result both estimates total
+// execution time without simulating and names the states that dominate
+// it — the ones the optimizer should leave un-merged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcf/system.h"
+#include "synth/library.h"
+
+namespace camad::synth {
+
+struct CriticalPathOptions {
+  /// Assumed iteration count for every loop (SCC) in the control net.
+  /// CAMAD took these from designer annotations; we use one global knob.
+  double loop_trip_count = 8.0;
+};
+
+struct CriticalPathResult {
+  double total_delay_ns = 0;
+  /// States on the critical path, in execution order. Loop members appear
+  /// once (the condensation collapses them).
+  std::vector<petri::PlaceId> states;
+  /// Per-state delay (ns) aligned with `states`.
+  std::vector<double> state_delay_ns;
+
+  [[nodiscard]] std::string to_string(const dcf::System& system) const;
+};
+
+/// Longest-delay path through the control structure's condensation.
+CriticalPathResult critical_path(const dcf::System& system,
+                                 const ModuleLibrary& lib,
+                                 const CriticalPathOptions& options = {});
+
+/// Per-state combinational delay (ns) — the state's active-subgraph
+/// longest path, as in estimate_cycle_time but reported per state.
+std::vector<double> state_delays(const dcf::System& system,
+                                 const ModuleLibrary& lib);
+
+}  // namespace camad::synth

@@ -1,0 +1,196 @@
+#include "synth/designs.h"
+
+namespace camad::synth {
+
+std::string_view gcd_source() {
+  return R"(design gcd {
+  in a, b;
+  out g;
+  var x, y;
+  begin
+    x := a;
+    y := b;
+    while x != y {
+      if x > y {
+        x := x - y;
+      } else {
+        y := y - x;
+      }
+    }
+    g := x;
+  end
+})";
+}
+
+std::string_view diffeq_source() {
+  // HAL benchmark: y'' + 3xy' + 3y = 0 solved by forward Euler.
+  return R"(design diffeq {
+  in a_in, dx_in, x_in, u_in, y_in;
+  out x_out, y_out, u_out;
+  var a, dx, x, u, y, x1, u1, y1;
+  begin
+    a := a_in;
+    dx := dx_in;
+    x := x_in;
+    u := u_in;
+    y := y_in;
+    while x < a {
+      x1 := x + dx;
+      u1 := u - ((3 * x) * (u * dx)) - ((3 * y) * dx);
+      y1 := y + (u * dx);
+      x := x1;
+      u := u1;
+      y := y1;
+    }
+    x_out := x;
+    y_out := y;
+    u_out := u;
+  end
+})";
+}
+
+std::string_view ewf_source() {
+  // Straight-line wave-filter-like kernel: two cascaded biquad-ish
+  // sections plus output combination; 26 additions, 8 multiplications.
+  return R"(design ewf {
+  in s_in, c1, c2, c3, c4;
+  out s_out;
+  var x, v1, v2, v3, v4, v5, v6, v7;
+  var t1, t2, t3, t4, t5, t6, t7, t8, t9;
+  begin
+    x := s_in;
+    t1 := x + v1;
+    t2 := t1 + v2;
+    t3 := t2 * c1;
+    t4 := t3 + v3;
+    t5 := t4 + v4;
+    t6 := t5 * c2;
+    v1 := t6 + t1;
+    v2 := t6 + t2;
+    t7 := t6 + v5;
+    t8 := t7 + v6;
+    t9 := t8 * c3;
+    v3 := t9 + t4;
+    v4 := t9 + t5;
+    v5 := t9 + t7;
+    v6 := t9 + t8;
+    t1 := v1 + v3;
+    t2 := v2 + v4;
+    t3 := t1 * c4;
+    t4 := t2 * c4;
+    t5 := t3 + t4;
+    v7 := t5 + v7;
+    t6 := v7 * c1;
+    t7 := t6 + t3;
+    t8 := t6 + t4;
+    t9 := t7 + t8;
+    v1 := v1 + t9;
+    v2 := v2 + t9;
+    t1 := t9 * c2;
+    t2 := t1 * c3;
+    t3 := t2 + v5;
+    t4 := t3 + v6;
+    t5 := t4 + t2;
+    s_out := t5;
+  end
+})";
+}
+
+std::string_view fir_source() {
+  return R"(design fir8 {
+  in sample;
+  out y;
+  var x0, x1, x2, x3, x4, x5, x6, x7;
+  var acc, n;
+  begin
+    x0 := 0; x1 := 0; x2 := 0; x3 := 0;
+    x4 := 0; x5 := 0; x6 := 0; x7 := 0;
+    n := 8;
+    while n > 0 {
+      x7 := x6;
+      x6 := x5;
+      x5 := x4;
+      x4 := x3;
+      x3 := x2;
+      x2 := x1;
+      x1 := x0;
+      x0 := sample;
+      acc := ((x0 * 4 + x1 * 9) + (x2 * 15 + x3 * 18))
+           + ((x4 * 18 + x5 * 15) + (x6 * 9 + x7 * 4));
+      y := acc;
+      n := n - 1;
+    }
+  end
+})";
+}
+
+std::string_view traffic_source() {
+  // Four-phase light controller: phase advances when the timer expires,
+  // the side-road sensor shortens the main-green phase.
+  return R"(design traffic {
+  in sensor;
+  out light;
+  var phase, timer, rounds, s;
+  begin
+    phase := 0;
+    rounds := 12;
+    timer := 4;
+    while rounds > 0 {
+      s := sensor;
+      if phase == 0 {
+        if s > 50 {
+          timer := timer - 2;
+        } else {
+          timer := timer - 1;
+        }
+      } else {
+        timer := timer - 1;
+      }
+      if timer <= 0 {
+        phase := (phase + 1) % 4;
+        if phase == 0 {
+          timer := 4;
+        } else {
+          timer := 2;
+        }
+        light := phase;
+      } else {
+        light := phase;
+      }
+      rounds := rounds - 1;
+    }
+  end
+})";
+}
+
+std::string_view parlab_source() {
+  return R"(design parlab {
+  in a, b, c, d;
+  out p, q;
+  var w, x, y, z;
+  begin
+    par {
+      branch {
+        w := a * b;
+        x := w + a;
+      }
+      branch {
+        y := c * d;
+        z := y + c;
+      }
+    }
+    p := x + z;
+    q := x - z;
+  end
+})";
+}
+
+std::vector<NamedDesign> all_designs() {
+  return {
+      {"gcd", gcd_source()},       {"diffeq", diffeq_source()},
+      {"ewf", ewf_source()},       {"fir8", fir_source()},
+      {"traffic", traffic_source()}, {"parlab", parlab_source()},
+  };
+}
+
+}  // namespace camad::synth

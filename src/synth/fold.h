@@ -1,0 +1,23 @@
+// Constant folding over BDL ASTs.
+//
+// The compiler allocates a fresh constant vertex per literal and a fresh
+// unit per operator occurrence, so `x := 3 * 4 + a` would synthesize a
+// multiplier just to compute 12. Folding evaluates literal subtrees with
+// the same interpretation the simulator uses (dcf::evaluate_op — wrapping
+// arithmetic, ⊥ on division by zero) before lowering. Folding that would
+// produce ⊥ (e.g. `1 / 0`) is left unfolded so the runtime semantics,
+// including the undefined value, are preserved.
+#pragma once
+
+#include "synth/ast.h"
+
+namespace camad::synth {
+
+/// Returns a folded copy of the expression.
+ExprPtr fold_expr(const Expr& expr);
+
+/// Folds every expression in the program in place. Returns the number of
+/// operator nodes eliminated.
+std::size_t fold_constants(Program& program);
+
+}  // namespace camad::synth

@@ -1,0 +1,132 @@
+#include "synth/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <limits>
+
+#include "util/error.h"
+
+namespace camad::synth {
+namespace {
+
+constexpr std::array<std::string_view, 12> kKeywords = {
+    "design", "in",  "out",  "var",   "begin", "end",
+    "if",     "else", "while", "par", "repeat", "const"};
+
+bool is_keyword(std::string_view word) {
+  for (std::string_view kw : kKeywords) {
+    if (word == kw) return true;
+  }
+  return word == "branch";
+}
+
+// Multi-character symbols first so "<=" wins over "<".
+constexpr std::array<std::string_view, 8> kLongSymbols = {
+    ":=", "==", "!=", "<=", ">=", "<<", ">>", "&&"};
+constexpr std::string_view kShortSymbols = "{}();,+-*/%<>!&|^=";
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (source[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '#') {  // comment
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = i;
+      while (end < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[end])) ||
+              source[end] == '_')) {
+        ++end;
+      }
+      token.text = std::string(source.substr(i, end - i));
+      token.kind =
+          is_keyword(token.text) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+      advance(end - i);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = i;
+      std::int64_t value = 0;
+      while (end < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[end]))) {
+        const std::int64_t digit = source[end] - '0';
+        if (value > (std::numeric_limits<std::int64_t>::max() - digit) / 10) {
+          throw ParseError("integer literal overflows 64 bits", line, column);
+        }
+        value = value * 10 + digit;
+        ++end;
+      }
+      if (end < source.size() &&
+          (std::isalpha(static_cast<unsigned char>(source[end])) ||
+           source[end] == '_')) {
+        throw ParseError("identifier cannot start with a digit", line, column);
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(source.substr(i, end - i));
+      token.number = value;
+      advance(end - i);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    bool matched = false;
+    for (std::string_view sym : kLongSymbols) {
+      if (source.substr(i, sym.size()) == sym) {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(sym);
+        advance(sym.size());
+        tokens.push_back(std::move(token));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (kShortSymbols.find(c) != std::string_view::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      advance(1);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    throw ParseError(std::string("illegal character '") + c + "'", line,
+                     column);
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEndOfFile;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace camad::synth

@@ -1,0 +1,31 @@
+// BDL tokenizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace camad::synth {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kNumber,
+  kKeyword,    // design in out var begin end if else while par branch
+  kSymbol,     // punctuation and operators
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::int64_t number = 0;  // for kNumber
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes BDL source. `#` starts a comment to end of line.
+/// Throws ParseError on illegal characters or malformed numbers.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace camad::synth

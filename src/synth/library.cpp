@@ -1,0 +1,60 @@
+#include "synth/library.h"
+
+#include "util/error.h"
+
+namespace camad::synth {
+
+ModuleLibrary ModuleLibrary::standard() {
+  using dcf::OpCode;
+  ModuleLibrary lib;
+  // area (gate equivalents), delay (ns) — relative magnitudes matter.
+  lib.set_module(OpCode::kAdd, {120, 18});
+  lib.set_module(OpCode::kSub, {130, 19});
+  lib.set_module(OpCode::kMul, {1400, 60});
+  lib.set_module(OpCode::kDiv, {2200, 110});
+  lib.set_module(OpCode::kMod, {2200, 110});
+  lib.set_module(OpCode::kNeg, {60, 8});
+  lib.set_module(OpCode::kAnd, {16, 2});
+  lib.set_module(OpCode::kOr, {16, 2});
+  lib.set_module(OpCode::kXor, {24, 3});
+  lib.set_module(OpCode::kNot, {4, 1});
+  lib.set_module(OpCode::kShl, {90, 10});
+  lib.set_module(OpCode::kShr, {90, 10});
+  lib.set_module(OpCode::kEq, {50, 9});
+  lib.set_module(OpCode::kNe, {50, 9});
+  lib.set_module(OpCode::kLt, {70, 12});
+  lib.set_module(OpCode::kLe, {70, 12});
+  lib.set_module(OpCode::kGt, {70, 12});
+  lib.set_module(OpCode::kGe, {70, 12});
+  lib.set_module(OpCode::kMux, {12, 2});
+  lib.set_module(OpCode::kPass, {0, 0});
+  lib.set_module(OpCode::kConst, {8, 0});
+  lib.set_module(OpCode::kReg, {64, 3});   // delay = clock-to-q
+  lib.set_module(OpCode::kInput, {0, 0});  // pads are free here
+  return lib;
+}
+
+const Module& ModuleLibrary::module_for(dcf::OpCode code) const {
+  return modules_[static_cast<std::size_t>(code)];
+}
+
+void ModuleLibrary::set_module(dcf::OpCode code, Module module) {
+  modules_[static_cast<std::size_t>(code)] = module;
+}
+
+double ModuleLibrary::mux_area(std::size_t ways) const {
+  if (ways <= 1) return 0;
+  return static_cast<double>(ways - 1) * mux_area_per_way_;
+}
+
+double ModuleLibrary::vertex_area(const dcf::DataPath& dp,
+                                  dcf::VertexId v) const {
+  if (dp.kind(v) != dcf::VertexKind::kInternal) return 0;
+  double area = 0;
+  for (dcf::PortId o : dp.output_ports(v)) {
+    area += module_for(dp.operation(o).code).area;
+  }
+  return area;
+}
+
+}  // namespace camad::synth

@@ -1,0 +1,49 @@
+// Module library: the implementation cost/delay of each operation.
+//
+// Reconstructs the role of CAMAD's module library. Only *relative*
+// numbers drive synthesis decisions; the defaults are plausible gate
+// counts and combinational delays (ns) for a late-1980s standard-cell
+// process (multiplier ~an order of magnitude above an adder, comparator
+// below an adder, register small, mux cheap).
+#pragma once
+
+#include <cstdint>
+
+#include "dcf/datapath.h"
+#include "dcf/ops.h"
+
+namespace camad::synth {
+
+struct Module {
+  double area = 0;   ///< gate equivalents
+  double delay = 0;  ///< combinational delay, ns (0 for state elements)
+};
+
+class ModuleLibrary {
+ public:
+  /// Library preloaded with the default entries for every OpCode.
+  static ModuleLibrary standard();
+
+  [[nodiscard]] const Module& module_for(dcf::OpCode code) const;
+  void set_module(dcf::OpCode code, Module module);
+
+  /// Cost of one n-way multiplexer on a shared input port.
+  [[nodiscard]] double mux_area(std::size_t ways) const;
+  [[nodiscard]] double mux_delay() const { return mux_delay_; }
+  void set_mux(double area_per_way, double delay) {
+    mux_area_per_way_ = area_per_way;
+    mux_delay_ = delay;
+  }
+
+  /// Area of a whole vertex: sum over its output-port modules (a
+  /// multi-output comparator pays for each predicate it exposes).
+  [[nodiscard]] double vertex_area(const dcf::DataPath& dp,
+                                   dcf::VertexId v) const;
+
+ private:
+  Module modules_[32];
+  double mux_area_per_way_ = 4;
+  double mux_delay_ = 2;
+};
+
+}  // namespace camad::synth

@@ -1,0 +1,21 @@
+// RTL-style structural netlist emission.
+//
+// The final stage of the synthesis flow: renders a System as the
+// register-transfer structure a downstream logic-synthesis tool would
+// consume — registers, functional units, input multiplexers (one per
+// multi-driven input port, select lines derived from the controlling
+// states), and the control FSM described as the Petri net's places,
+// transitions and guard expressions.
+#pragma once
+
+#include <string>
+
+#include "dcf/system.h"
+#include "synth/library.h"
+
+namespace camad::synth {
+
+/// Human/tool-readable netlist text. Deterministic (golden-testable).
+std::string emit_netlist(const dcf::System& system, const ModuleLibrary& lib);
+
+}  // namespace camad::synth

@@ -1,0 +1,222 @@
+#include "synth/optimizer.h"
+
+#include <limits>
+
+#include "util/rng.h"
+
+#include "semantics/equivalence.h"
+#include "transform/chain.h"
+#include "transform/cleanup.h"
+#include "transform/merge.h"
+#include "transform/regshare.h"
+#include "transform/parallelize.h"
+#include "util/error.h"
+
+namespace camad::synth {
+namespace {
+
+double objective_of(const Metrics& m, const Metrics& baseline, double lambda) {
+  const double area_norm = baseline.area > 0 ? m.area / baseline.area : 1.0;
+  const double time_norm =
+      baseline.time_ns > 0 ? m.time_ns / baseline.time_ns : 1.0;
+  return lambda * area_norm + (1.0 - lambda) * time_norm;
+}
+
+}  // namespace
+
+Metrics evaluate(const dcf::System& system, const ModuleLibrary& lib,
+                 const MeasureOptions& options) {
+  Metrics m;
+  m.area = estimate_area(system, lib).total();
+  const PerformanceReport perf = measure_performance(system, lib, options);
+  m.mean_cycles = perf.mean_cycles;
+  m.cycle_time = perf.cycle_time;
+  m.time_ns = perf.mean_time_ns();
+  return m;
+}
+
+OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
+                         const OptimizerOptions& options) {
+  auto schedule = [](const dcf::System& master) {
+    // Derive the parallel schedule, then elide the pass-through
+    // control-only states compilation and fork/join realization leave.
+    return transform::cleanup_control(transform::parallelize(master));
+  };
+
+  dcf::System master = serial;
+  dcf::System best = schedule(master);
+  const Metrics baseline = evaluate(best, lib, options.measure);
+
+  OptimizerResult result{best, master, baseline, baseline, {}, 0};
+  double best_objective = objective_of(baseline, baseline,
+                                       options.area_weight);
+  result.steps.push_back(
+      {"initial (no mergers, parallelized)", baseline, best_objective});
+
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    const auto pairs = transform::mergeable_pairs(master);
+    if (pairs.empty()) break;
+
+    double candidate_best = std::numeric_limits<double>::infinity();
+    std::size_t candidate_index = pairs.size();
+    dcf::System candidate_master;
+    dcf::System candidate_scheduled;
+    Metrics candidate_metrics;
+
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      dcf::System merged =
+          transform::merge_vertices(master, pairs[i].first, pairs[i].second);
+      dcf::System scheduled = schedule(merged);
+      const Metrics metrics = evaluate(scheduled, lib, options.measure);
+      const double objective =
+          objective_of(metrics, baseline, options.area_weight);
+      if (objective < candidate_best) {
+        candidate_best = objective;
+        candidate_index = i;
+        candidate_master = std::move(merged);
+        candidate_scheduled = std::move(scheduled);
+        candidate_metrics = metrics;
+      }
+    }
+
+    if (candidate_index == pairs.size() ||
+        candidate_best >= best_objective - 1e-12) {
+      break;  // no improving merger
+    }
+
+    if (options.verify_steps) {
+      const semantics::EquivalenceVerdict verdict =
+          semantics::differential_equivalence(best, candidate_scheduled);
+      if (!verdict.holds) {
+        throw TransformError("optimizer step failed verification: " +
+                             verdict.why);
+      }
+    }
+
+    const auto& dp = master.datapath();
+    result.steps.push_back(
+        {"merge " + dp.name(pairs[candidate_index].first) + " into " +
+             dp.name(pairs[candidate_index].second),
+         candidate_metrics, candidate_best});
+    master = std::move(candidate_master);
+    best = std::move(candidate_scheduled);
+    best_objective = candidate_best;
+    ++result.merges_applied;
+  }
+
+  // Post-passes: register sharing and state chaining, each kept only if
+  // it improves the objective (both change the serial master, so the
+  // schedule is re-derived).
+  struct PostPass {
+    const char* name;
+    dcf::System master;
+  };
+  std::vector<PostPass> candidates;
+  if (options.try_register_sharing) {
+    candidates.push_back({"share registers",
+                          transform::share_registers(master)});
+  }
+  if (options.try_chaining) {
+    candidates.push_back({"chain states", transform::chain_states(master)});
+    if (options.try_register_sharing) {
+      candidates.push_back(
+          {"share registers + chain states",
+           transform::chain_states(transform::share_registers(master))});
+    }
+  }
+  for (PostPass& pass : candidates) {
+    dcf::System scheduled = schedule(pass.master);
+    const Metrics metrics = evaluate(scheduled, lib, options.measure);
+    const double objective =
+        objective_of(metrics, baseline, options.area_weight);
+    if (objective < best_objective - 1e-12) {
+      if (options.verify_steps) {
+        const semantics::EquivalenceVerdict verdict =
+            semantics::differential_equivalence(best, scheduled);
+        if (!verdict.holds) {
+          throw TransformError(std::string("post-pass '") + pass.name +
+                               "' failed verification: " + verdict.why);
+        }
+      }
+      result.steps.push_back({pass.name, metrics, objective});
+      master = std::move(pass.master);
+      best = std::move(scheduled);
+      best_objective = objective;
+    }
+  }
+
+  result.best = best;
+  result.serial_master = master;
+  result.final = result.steps.back().metrics;
+  return result;
+}
+
+OptimizerResult optimize_stochastic(const dcf::System& serial,
+                                    const ModuleLibrary& lib,
+                                    const StochasticOptions& options) {
+  auto schedule = [](const dcf::System& master) {
+    return transform::cleanup_control(transform::parallelize(master));
+  };
+
+  const Metrics baseline =
+      evaluate(schedule(serial), lib, options.base.measure);
+  Rng rng(options.seed);
+
+  OptimizerResult best_run;
+  double best_objective = std::numeric_limits<double>::infinity();
+
+  for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+    dcf::System master = serial;
+    dcf::System scheduled = schedule(master);
+    double objective = objective_of(
+        evaluate(scheduled, lib, options.base.measure), baseline,
+        options.base.area_weight);
+    OptimizerResult run{scheduled, master, baseline, baseline, {}, 0};
+
+    for (std::size_t step = 0; step < options.base.max_steps; ++step) {
+      auto pairs = transform::mergeable_pairs(master);
+      if (pairs.empty()) break;
+      for (std::size_t i = pairs.size(); i > 1; --i) {
+        std::swap(pairs[i - 1], pairs[rng.below(i)]);
+      }
+      // First *improving* merger in the shuffled order.
+      bool improved = false;
+      for (const auto& [vi, vj] : pairs) {
+        dcf::System merged = transform::merge_vertices(master, vi, vj);
+        dcf::System candidate = schedule(merged);
+        const Metrics metrics =
+            evaluate(candidate, lib, options.base.measure);
+        const double candidate_objective =
+            objective_of(metrics, baseline, options.base.area_weight);
+        if (candidate_objective < objective - 1e-12) {
+          master = std::move(merged);
+          scheduled = std::move(candidate);
+          objective = candidate_objective;
+          ++run.merges_applied;
+          run.steps.push_back({"stochastic merge", metrics,
+                               candidate_objective});
+          improved = true;
+          break;
+        }
+      }
+      if (!improved) break;
+    }
+
+    if (objective < best_objective) {
+      best_objective = objective;
+      run.best = scheduled;
+      run.serial_master = master;
+      run.final = run.steps.empty() ? baseline : run.steps.back().metrics;
+      best_run = std::move(run);
+    }
+  }
+  if (best_run.steps.empty()) {
+    best_run.steps.push_back({"initial (stochastic)", baseline,
+                              objective_of(baseline, baseline,
+                                           options.base.area_weight)});
+    best_run.final = baseline;
+  }
+  return best_run;
+}
+
+}  // namespace camad::synth

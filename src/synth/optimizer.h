@@ -1,0 +1,94 @@
+// CAMAD-style iterative design-space exploration (Sec 5).
+//
+// The optimizer holds the compiler's serial "preliminary design" as the
+// master and explores *merge sets*: which control-invariant vertex
+// mergers (Def 4.6) to apply before re-deriving the parallel schedule
+// with the data-invariant chain parallelization (Defs 4.3-4.5).
+// Serialization never needs its own transformation — the serial master
+// already carries the total order, and resource conflicts introduced by
+// a merger automatically keep the unit's users sequential when the
+// design is re-parallelized. This mirrors the paper's loop: "the
+// synthesis algorithm starts with a preliminary design and transforms it
+// step by step towards an optimal one", guided by cost analysis.
+//
+// Each candidate configuration is evaluated on real numbers: estimated
+// area (module library + steering muxes) and measured execution time
+// (simulated cycles × estimated cycle time). Greedy steepest-descent
+// accepts the merger that most improves the weighted objective; the
+// area-weight λ sweeps out the area/delay trade-off curve (E3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dcf/system.h"
+#include "synth/cost.h"
+#include "synth/library.h"
+
+namespace camad::synth {
+
+struct Metrics {
+  double area = 0;
+  double mean_cycles = 0;
+  double cycle_time = 0;
+  double time_ns = 0;
+};
+
+struct OptimizerOptions {
+  /// Objective = λ·(area/area₀) + (1-λ)·(time/time₀); λ ∈ [0,1].
+  double area_weight = 0.5;
+  std::size_t max_steps = 64;
+  MeasureOptions measure;
+  /// Verify each accepted step by differential simulation (slow, for
+  /// tests and paranoid runs).
+  bool verify_steps = false;
+  /// Post-passes evaluated after the merge loop and kept when they
+  /// improve the objective: register sharing (live-range coalescing,
+  /// saves register+mux area but may serialize the schedule through the
+  /// shared registers) and control-state chaining (merges independent
+  /// adjacent states, saving cycles at zero area cost).
+  bool try_register_sharing = true;
+  bool try_chaining = true;
+};
+
+struct OptimizerStep {
+  std::string description;
+  Metrics metrics;
+  double objective = 0;
+};
+
+struct OptimizerResult {
+  dcf::System best;            ///< parallelized best configuration
+  dcf::System serial_master;   ///< merged serial design behind `best`
+  Metrics initial;             ///< parallelized, no mergers
+  Metrics final;
+  std::vector<OptimizerStep> steps;
+  std::size_t merges_applied = 0;
+};
+
+Metrics evaluate(const dcf::System& system, const ModuleLibrary& lib,
+                 const MeasureOptions& options);
+
+/// Optimizes a *serial* compiled design. Throws TransformError if
+/// verification is enabled and a step fails it.
+OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
+                         const OptimizerOptions& options = {});
+
+struct StochasticOptions {
+  OptimizerOptions base;
+  std::size_t restarts = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Search-strategy alternative: random-restart stochastic descent. Each
+/// restart walks a random sequence of *improving* mergers (first
+/// improving candidate in shuffled order, rather than the best), then
+/// applies the same post-passes; the best restart wins. Trades the
+/// greedy search's O(pairs²) evaluations per step for more, cheaper
+/// walks — and can escape greedy's myopia on rugged objectives. Compared
+/// against plain `optimize` in bench_tradeoff.
+OptimizerResult optimize_stochastic(const dcf::System& serial,
+                                    const ModuleLibrary& lib,
+                                    const StochasticOptions& options = {});
+
+}  // namespace camad::synth

@@ -1,0 +1,403 @@
+#include "synth/parser.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "synth/lexer.h"
+#include "util/error.h"
+
+namespace camad::synth {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  Program program() {
+    expect_keyword("design");
+    Program p;
+    program_ = &p;
+    p.name = expect_identifier();
+    expect_symbol("{");
+    while (at_keyword("in") || at_keyword("out") || at_keyword("var") ||
+           at_keyword("const")) {
+      const std::string kind = next().text;
+      if (kind == "const") {
+        // const NAME = [-]number ;
+        const std::string name = expect_identifier();
+        if (!seen_names_.insert(name).second) {
+          fail("duplicate declaration of '" + name + "'");
+        }
+        expect_symbol("=");
+        bool negative = false;
+        if (at_symbol("-")) {
+          negative = true;
+          next();
+        }
+        if (peek().kind != TokenKind::kNumber) fail("const needs a number");
+        const std::int64_t value = next().number;
+        constants_[name] = negative ? -value : value;
+        expect_symbol(";");
+        continue;
+      }
+      while (true) {
+        const std::string name = expect_identifier();
+        declare(p, kind, name);
+        if (!at_symbol(",")) break;
+        next();
+      }
+      expect_symbol(";");
+    }
+    expect_keyword("begin");
+    p.body = block_until_end();
+    expect_keyword("end");
+    expect_symbol("}");
+    expect_eof();
+    validate_references(p);
+    return p;
+  }
+
+  ExprPtr expression_only() {
+    ExprPtr e = expression();
+    expect_eof();
+    return e;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------------
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& next() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError(why + " (got '" + peek().text + "')", peek().line,
+                     peek().column);
+  }
+
+  bool at_keyword(std::string_view kw) const {
+    return peek().kind == TokenKind::kKeyword && peek().text == kw;
+  }
+  bool at_symbol(std::string_view sym) const {
+    return peek().kind == TokenKind::kSymbol && peek().text == sym;
+  }
+  void expect_keyword(std::string_view kw) {
+    if (!at_keyword(kw)) fail("expected '" + std::string(kw) + "'");
+    next();
+  }
+  void expect_symbol(std::string_view sym) {
+    if (!at_symbol(sym)) fail("expected '" + std::string(sym) + "'");
+    next();
+  }
+  std::string expect_identifier() {
+    if (peek().kind != TokenKind::kIdentifier) fail("expected identifier");
+    return next().text;
+  }
+  void expect_eof() {
+    if (peek().kind != TokenKind::kEndOfFile) fail("expected end of input");
+  }
+
+  // --- declarations ----------------------------------------------------------
+  void declare(Program& p, const std::string& kind, const std::string& name) {
+    if (!seen_names_.insert(name).second) {
+      fail("duplicate declaration of '" + name + "'");
+    }
+    if (kind == "in") p.inputs.push_back(name);
+    else if (kind == "out") p.outputs.push_back(name);
+    else p.variables.push_back(name);
+  }
+
+  // --- statements -------------------------------------------------------------
+  Block block_until_end() {
+    Block block;
+    while (!at_keyword("end") && !at_symbol("}")) {
+      StmtPtr stmt = statement();
+      for (StmtPtr& pending : pending_stmts_) {
+        block.stmts.push_back(std::move(pending));
+      }
+      pending_stmts_.clear();
+      block.stmts.push_back(std::move(stmt));
+    }
+    return block;
+  }
+
+  Block braced_block() {
+    expect_symbol("{");
+    Block block = block_until_end();
+    expect_symbol("}");
+    return block;
+  }
+
+  StmtPtr statement() {
+    auto s = std::make_unique<Stmt>();
+    if (at_keyword("if")) {
+      next();
+      s->kind = StmtKind::kIf;
+      s->cond = expression();
+      s->body = braced_block();
+      if (at_keyword("else")) {
+        next();
+        s->els = braced_block();
+      }
+      return s;
+    }
+    if (at_keyword("while")) {
+      next();
+      s->kind = StmtKind::kWhile;
+      s->cond = expression();
+      s->body = braced_block();
+      return s;
+    }
+    if (at_keyword("repeat")) {
+      next();
+      // repeat <count> { body }  desugars to a counter while-loop over a
+      // fresh hidden variable (legal identifier, uniquified).
+      std::int64_t count = 0;
+      if (peek().kind == TokenKind::kNumber) {
+        count = next().number;
+      } else if (peek().kind == TokenKind::kIdentifier &&
+                 constants_.contains(peek().text)) {
+        count = constants_.at(next().text);
+      } else {
+        fail("repeat needs a literal or const count");
+      }
+      if (count < 0) fail("repeat count must be nonnegative");
+      std::string counter;
+      do {
+        counter = "_repeat_" + std::to_string(repeat_counter_++);
+      } while (seen_names_.contains(counter));
+      seen_names_.insert(counter);
+      program_->variables.push_back(counter);
+
+      Block body = braced_block();
+
+      auto init = std::make_unique<Stmt>();
+      init->kind = StmtKind::kAssign;
+      init->target = counter;
+      init->value = Expr::literal_of(count);
+
+      auto decrement = std::make_unique<Stmt>();
+      decrement->kind = StmtKind::kAssign;
+      decrement->target = counter;
+      decrement->value = Expr::binary(dcf::OpCode::kSub,
+                                      Expr::variable(counter),
+                                      Expr::literal_of(1));
+      body.stmts.push_back(std::move(decrement));
+
+      auto loop = std::make_unique<Stmt>();
+      loop->kind = StmtKind::kWhile;
+      loop->cond = Expr::binary(dcf::OpCode::kGt, Expr::variable(counter),
+                                Expr::literal_of(0));
+      loop->body = std::move(body);
+
+      // The desugaring yields two statements (init + loop); statement()
+      // returns one, so the init is spliced in by block_until_end().
+      pending_stmts_.push_back(std::move(init));
+      return loop;
+    }
+    if (at_keyword("par")) {
+      next();
+      s->kind = StmtKind::kPar;
+      expect_symbol("{");
+      while (at_keyword("branch")) {
+        next();
+        s->branches.push_back(braced_block());
+      }
+      if (s->branches.empty()) fail("par needs at least one branch");
+      expect_symbol("}");
+      return s;
+    }
+    if (peek().kind == TokenKind::kIdentifier) {
+      s->kind = StmtKind::kAssign;
+      s->target = next().text;
+      expect_symbol(":=");
+      s->value = expression();
+      expect_symbol(";");
+      return s;
+    }
+    fail("expected statement");
+  }
+
+  // --- expressions --------------------------------------------------------------
+  ExprPtr expression() { return bitor_level(); }
+
+  ExprPtr binary_level(ExprPtr (Parser::*sub)(),
+                       std::initializer_list<
+                           std::pair<std::string_view, dcf::OpCode>> ops) {
+    ExprPtr lhs = (this->*sub)();
+    while (true) {
+      bool matched = false;
+      for (const auto& [sym, op] : ops) {
+        if (at_symbol(sym)) {
+          next();
+          lhs = Expr::binary(op, std::move(lhs), (this->*sub)());
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr bitor_level() {
+    return binary_level(&Parser::bitxor_level, {{"|", dcf::OpCode::kOr}});
+  }
+  ExprPtr bitxor_level() {
+    return binary_level(&Parser::bitand_level, {{"^", dcf::OpCode::kXor}});
+  }
+  ExprPtr bitand_level() {
+    return binary_level(&Parser::compare_level, {{"&", dcf::OpCode::kAnd}});
+  }
+  ExprPtr compare_level() {
+    ExprPtr lhs = shift_level();
+    for (const auto& [sym, op] :
+         std::initializer_list<std::pair<std::string_view, dcf::OpCode>>{
+             {"==", dcf::OpCode::kEq}, {"!=", dcf::OpCode::kNe},
+             {"<=", dcf::OpCode::kLe}, {">=", dcf::OpCode::kGe},
+             {"<", dcf::OpCode::kLt},  {">", dcf::OpCode::kGt}}) {
+      if (at_symbol(sym)) {
+        next();
+        return Expr::binary(op, std::move(lhs), shift_level());
+      }
+    }
+    return lhs;
+  }
+  ExprPtr shift_level() {
+    return binary_level(&Parser::add_level, {{"<<", dcf::OpCode::kShl},
+                                             {">>", dcf::OpCode::kShr}});
+  }
+  ExprPtr add_level() {
+    return binary_level(&Parser::mul_level, {{"+", dcf::OpCode::kAdd},
+                                             {"-", dcf::OpCode::kSub}});
+  }
+  ExprPtr mul_level() {
+    return binary_level(&Parser::unary_level, {{"*", dcf::OpCode::kMul},
+                                               {"/", dcf::OpCode::kDiv},
+                                               {"%", dcf::OpCode::kMod}});
+  }
+  ExprPtr unary_level() {
+    if (at_symbol("-")) {
+      next();
+      return Expr::unary(dcf::OpCode::kNeg, unary_level());
+    }
+    if (at_symbol("!")) {
+      next();
+      return Expr::unary(dcf::OpCode::kNot, unary_level());
+    }
+    return primary();
+  }
+  ExprPtr primary() {
+    if (peek().kind == TokenKind::kNumber) {
+      return Expr::literal_of(next().number);
+    }
+    // mux(cond, a, b): branchless select, lowered to the kMux unit.
+    if (peek().kind == TokenKind::kIdentifier && peek().text == "mux" &&
+        tokens_[pos_ + 1].kind == TokenKind::kSymbol &&
+        tokens_[pos_ + 1].text == "(") {
+      next();
+      next();
+      ExprPtr cond = expression();
+      expect_symbol(",");
+      ExprPtr then_value = expression();
+      expect_symbol(",");
+      ExprPtr else_value = expression();
+      expect_symbol(")");
+      return Expr::mux(std::move(cond), std::move(then_value),
+                       std::move(else_value));
+    }
+    if (peek().kind == TokenKind::kIdentifier) {
+      if (constants_.contains(peek().text)) {
+        return Expr::literal_of(constants_.at(next().text));
+      }
+      return Expr::variable(next().text);
+    }
+    if (at_symbol("(")) {
+      next();
+      ExprPtr e = expression();
+      expect_symbol(")");
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  // --- semantic validation ---------------------------------------------------
+  void validate_references(const Program& p) const {
+    std::set<std::string> readable(p.inputs.begin(), p.inputs.end());
+    readable.insert(p.variables.begin(), p.variables.end());
+    std::set<std::string> writable(p.outputs.begin(), p.outputs.end());
+    writable.insert(p.variables.begin(), p.variables.end());
+    validate_block(p.body, readable, writable);
+  }
+
+  void validate_block(const Block& block, const std::set<std::string>& readable,
+                      const std::set<std::string>& writable) const {
+    for (const StmtPtr& s : block.stmts) {
+      switch (s->kind) {
+        case StmtKind::kAssign:
+          if (!writable.contains(s->target)) {
+            throw ParseError("cannot assign to '" + s->target +
+                                 "' (not a var or out)",
+                             0, 0);
+          }
+          validate_expr(*s->value, readable);
+          break;
+        case StmtKind::kIf:
+          validate_expr(*s->cond, readable);
+          validate_block(s->body, readable, writable);
+          validate_block(s->els, readable, writable);
+          break;
+        case StmtKind::kWhile:
+          validate_expr(*s->cond, readable);
+          validate_block(s->body, readable, writable);
+          break;
+        case StmtKind::kPar:
+          for (const Block& branch : s->branches) {
+            validate_block(branch, readable, writable);
+          }
+          break;
+      }
+    }
+  }
+
+  void validate_expr(const Expr& e,
+                     const std::set<std::string>& readable) const {
+    switch (e.kind) {
+      case ExprKind::kLiteral: return;
+      case ExprKind::kVariable:
+        if (!readable.contains(e.name)) {
+          throw ParseError("'" + e.name + "' is not a readable var or in", 0,
+                           0);
+        }
+        return;
+      case ExprKind::kUnary: validate_expr(*e.lhs, readable); return;
+      case ExprKind::kBinary:
+        validate_expr(*e.lhs, readable);
+        validate_expr(*e.rhs, readable);
+        return;
+      case ExprKind::kMux:
+        validate_expr(*e.lhs, readable);
+        validate_expr(*e.rhs, readable);
+        validate_expr(*e.third, readable);
+        return;
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::set<std::string> seen_names_;
+  std::map<std::string, std::int64_t> constants_;
+  Program* program_ = nullptr;
+  int repeat_counter_ = 0;
+  std::vector<StmtPtr> pending_stmts_;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser(source).program();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  return Parser(source).expression_only();
+}
+
+}  // namespace camad::synth

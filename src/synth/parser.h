@@ -1,0 +1,28 @@
+// Recursive-descent BDL parser.
+//
+// Grammar (precedence low to high: | ^ & cmp shift addsub muldiv unary):
+//   program := "design" ident "{" decl* "begin" stmt* "end" "}"
+//   decl    := ("in" | "out" | "var") ident ("," ident)* ";"
+//   stmt    := ident ":=" expr ";"
+//            | "if" expr "{" stmt* "}" ("else" "{" stmt* "}")?
+//            | "while" expr "{" stmt* "}"
+//            | "par" "{" ("branch" "{" stmt* "}")+ "}"
+//   expr    := ... (C-like binary operators, unary - and !)
+#pragma once
+
+#include <string_view>
+
+#include "synth/ast.h"
+
+namespace camad::synth {
+
+/// Parses one BDL design. Throws ParseError with line/column on error.
+/// Semantic checks included: unique names, assignment targets must be
+/// vars or outs, expression operands must be declared vars/ins (reading
+/// an `out` is rejected — output vertices have no readable port).
+Program parse_program(std::string_view source);
+
+/// Parses a standalone expression (used by tests).
+ExprPtr parse_expression(std::string_view source);
+
+}  // namespace camad::synth

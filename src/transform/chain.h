@@ -1,0 +1,42 @@
+// Control-state chaining: merging adjacent control states.
+//
+// The third way to change the schedule (besides reordering and resource
+// sharing): two consecutive states S1 -> t -> S2 connected by a plain
+// unguarded transition can execute as *one* state when
+//   * they are data-independent (every Def 4.3 clause — in particular
+//     clause (e): if both touch the environment, merging would turn an
+//     ordered ≺ pair of external events into a concurrent ≈ pair and
+//     change the semantics), and
+//   * their association sets are disjoint (no shared input ports).
+//
+// The merged state opens C(S1) ∪ C(S2); the cycle count drops by one per
+// merge while the cycle time is unchanged (the two active subgraphs are
+// disjoint, so the critical path is their max, not their sum).
+#pragma once
+
+#include <cstddef>
+
+#include "dcf/system.h"
+#include "semantics/dependence.h"
+
+namespace camad::transform {
+
+struct ChainOptions {
+  semantics::DependenceOptions dependence;
+};
+
+struct ChainStats {
+  std::size_t states_merged = 0;  ///< number of removed states
+};
+
+/// Returns true iff S2 (the unique successor of S1 through an unguarded
+/// 1-in/1-out transition) may be chained into S1.
+bool can_chain(const dcf::System& system, petri::PlaceId s1,
+               const ChainOptions& options = {});
+
+/// Repeatedly chains every eligible adjacent pair until a fixpoint.
+dcf::System chain_states(const dcf::System& system,
+                         const ChainOptions& options = {},
+                         ChainStats* stats = nullptr);
+
+}  // namespace camad::transform

@@ -1,0 +1,100 @@
+#include "transform/cleanup.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/error.h"
+
+namespace camad::transform {
+namespace {
+
+using dcf::ArcId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+struct Elision {
+  PlaceId place;
+  TransitionId after;  // removed; every producer inherits its post-set
+};
+
+std::optional<Elision> find_elidable(const dcf::System& system) {
+  const petri::Net& net = system.control().net();
+  for (PlaceId p : net.places()) {
+    if (!system.control().controlled_arcs(p).empty()) continue;
+    if (net.initial_tokens(p) > 0) continue;
+    if (net.pre(p).empty() || net.post(p).size() != 1) continue;
+    const TransitionId t2 = net.post(p).front();
+    // t2 must synchronize on nothing else and must be unguarded (its
+    // guard would otherwise be evaluated a cycle earlier after fusion).
+    if (net.pre(t2).size() != 1) continue;
+    if (!system.control().guards(t2).empty()) continue;
+    // A producer equal to the consumer would be a self-loop.
+    bool self_loop = false;
+    for (TransitionId t1 : net.pre(p)) self_loop |= (t1 == t2);
+    if (self_loop) continue;
+    return Elision{p, t2};
+  }
+  return std::nullopt;
+}
+
+dcf::System apply(const dcf::System& system, const Elision& elision) {
+  const petri::Net& net = system.control().net();
+  dcf::ControlNet rebuilt;
+
+  std::vector<PlaceId> place_map(net.place_count(), PlaceId::invalid());
+  for (PlaceId p : net.places()) {
+    if (p == elision.place) continue;
+    const PlaceId np = rebuilt.add_state(net.name(p));
+    rebuilt.net().set_initial_tokens(np, net.initial_tokens(p));
+    place_map[p.index()] = np;
+    for (ArcId a : system.control().controlled_arcs(p)) {
+      rebuilt.control(np, a);
+    }
+  }
+
+  for (TransitionId t : net.transitions()) {
+    if (t == elision.after) continue;
+    const TransitionId nt = rebuilt.add_transition(net.name(t));
+    for (PlaceId p : net.pre(t)) {
+      rebuilt.net().connect(place_map[p.index()], nt);
+    }
+    // Post-set; producers of the elided place inherit `after`'s posts.
+    std::vector<PlaceId> posts;
+    bool fed_elided = false;
+    for (PlaceId p : net.post(t)) {
+      if (p == elision.place) {
+        fed_elided = true;
+        continue;
+      }
+      posts.push_back(place_map[p.index()]);
+    }
+    if (fed_elided) {
+      for (PlaceId p : net.post(elision.after)) {
+        posts.push_back(place_map[p.index()]);
+      }
+    }
+    std::sort(posts.begin(), posts.end());
+    posts.erase(std::unique(posts.begin(), posts.end()), posts.end());
+    for (PlaceId p : posts) rebuilt.net().connect(nt, p);
+    for (dcf::PortId g : system.control().guards(t)) rebuilt.guard(nt, g);
+  }
+
+  dcf::System result(system.datapath(), std::move(rebuilt), system.name());
+  result.validate();
+  return result;
+}
+
+}  // namespace
+
+dcf::System cleanup_control(const dcf::System& system, CleanupStats* stats) {
+  CleanupStats local;
+  dcf::System current = system;
+  while (const auto elision = find_elidable(current)) {
+    current = apply(current, *elision);
+    ++local.states_removed;
+  }
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace camad::transform

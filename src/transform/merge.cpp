@@ -1,0 +1,212 @@
+#include "transform/merge.h"
+
+#include <algorithm>
+
+#include "petri/order.h"
+#include "util/error.h"
+
+namespace camad::transform {
+namespace {
+
+using dcf::ArcId;
+using dcf::PortId;
+using dcf::VertexId;
+using petri::PlaceId;
+
+/// States associated with `v` per Def 2.4 (controlling an arc into one of
+/// its input ports) — the states during which the unit is *used*.
+std::vector<PlaceId> associated_states(const dcf::System& system,
+                                       VertexId v) {
+  std::vector<PlaceId> out;
+  const dcf::DataPath& dp = system.datapath();
+  for (PortId in : dp.input_ports(v)) {
+    for (ArcId a : dp.arcs_into(in)) {
+      for (PlaceId s : system.control().controlling_states(a)) {
+        if (std::find(out.begin(), out.end(), s) == out.end()) {
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// States controlling an arc *from* one of v's output ports.
+std::vector<PlaceId> reading_states(const dcf::System& system, VertexId v) {
+  std::vector<PlaceId> out;
+  const dcf::DataPath& dp = system.datapath();
+  for (PortId o : dp.output_ports(v)) {
+    for (ArcId a : dp.arcs_from(o)) {
+      for (PlaceId s : system.control().controlling_states(a)) {
+        if (std::find(out.begin(), out.end(), s) == out.end()) {
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MergeCheck can_merge(const dcf::System& system, VertexId vi, VertexId vj) {
+  const dcf::DataPath& dp = system.datapath();
+  auto no = [](std::string why) { return MergeCheck{false, std::move(why)}; };
+
+  if (vi == vj) return no("cannot merge a vertex with itself");
+  if (vi.index() >= dp.vertex_count() || vj.index() >= dp.vertex_count()) {
+    return no("vertex id out of range");
+  }
+  if (dp.kind(vi) != dcf::VertexKind::kInternal ||
+      dp.kind(vj) != dcf::VertexKind::kInternal) {
+    return no("external vertices are the observable interface; not mergeable");
+  }
+  if (dp.is_sequential_vertex(vi) || dp.is_sequential_vertex(vj)) {
+    return no("sequential vertices hold state; use transform/regshare");
+  }
+
+  // Same operational definition and port structure (Def 4.6).
+  if (dp.input_ports(vi).size() != dp.input_ports(vj).size() ||
+      dp.output_ports(vi).size() != dp.output_ports(vj).size()) {
+    return no("port structures differ");
+  }
+  for (std::size_t k = 0; k < dp.output_ports(vi).size(); ++k) {
+    if (!(dp.operation(dp.output_ports(vi)[k]) ==
+          dp.operation(dp.output_ports(vj)[k]))) {
+      return no("operational definitions differ");
+    }
+  }
+
+  // Associated control states pairwise in sequential order.
+  const petri::OrderRelations order(system.control().net());
+  const std::vector<PlaceId> ai = associated_states(system, vi);
+  const std::vector<PlaceId> aj = associated_states(system, vj);
+  for (PlaceId a : ai) {
+    for (PlaceId b : aj) {
+      if (a == b) {
+        return no("state " + system.control().net().name(a) +
+                  " uses both vertices simultaneously");
+      }
+      if (!order.sequential(a, b)) {
+        return no("states " + system.control().net().name(a) + " and " +
+                  system.control().net().name(b) +
+                  " are not in sequential order");
+      }
+    }
+  }
+
+  // Guard against dangling reads changing from ⊥ to a defined value: a
+  // state reading a COM output must be one of the states driving it.
+  for (VertexId v : {vi, vj}) {
+    const auto assoc = associated_states(system, v);
+    for (PlaceId s : reading_states(system, v)) {
+      const bool driven =
+          std::find(assoc.begin(), assoc.end(), s) != assoc.end() ||
+          dp.input_ports(v).empty();  // constants are always defined
+      if (!driven) {
+        return no("state " + system.control().net().name(s) + " reads " +
+                  dp.name(v) + " without driving it; merger would change " +
+                  "the undefined value it observes");
+      }
+    }
+  }
+  return MergeCheck{true, {}};
+}
+
+dcf::System merge_vertices(const dcf::System& system, VertexId vi,
+                           VertexId vj) {
+  const MergeCheck check = can_merge(system, vi, vj);
+  if (!check.legal) {
+    throw TransformError("merge_vertices: " + check.why);
+  }
+  const dcf::DataPath& dp = system.datapath();
+
+  dcf::DataPath merged;
+  std::vector<PortId> port_map(dp.port_count(), PortId::invalid());
+
+  // Rebuild vertices (skipping vi) with ports grouped per vertex; record
+  // the old-port -> new-port map.
+  for (VertexId v : dp.vertices()) {
+    if (v == vi) continue;
+    const VertexId nv = merged.add_vertex(dp.name(v), dp.kind(v));
+    for (PortId in : dp.input_ports(v)) {
+      port_map[in.index()] = merged.add_input_port(nv, dp.name(in));
+    }
+    for (PortId out : dp.output_ports(v)) {
+      port_map[out.index()] =
+          merged.add_output_port(nv, dp.operation(out), dp.name(out));
+    }
+  }
+  // vi's ports alias vj's (same index within the port lists).
+  for (std::size_t k = 0; k < dp.input_ports(vi).size(); ++k) {
+    port_map[dp.input_ports(vi)[k].index()] =
+        port_map[dp.input_ports(vj)[k].index()];
+  }
+  for (std::size_t k = 0; k < dp.output_ports(vi).size(); ++k) {
+    port_map[dp.output_ports(vi)[k].index()] =
+        port_map[dp.output_ports(vj)[k].index()];
+  }
+
+  // Arcs in id order: identity of arcs is what keeps C(S) valid.
+  for (ArcId a : dp.arcs()) {
+    merged.add_arc(port_map[dp.arc_source(a).index()],
+                   port_map[dp.arc_target(a).index()]);
+  }
+
+  // Control structure is untouched except guard ports are re-anchored.
+  dcf::ControlNet control;
+  const petri::Net& net = system.control().net();
+  for (PlaceId p : net.places()) {
+    const PlaceId np = control.add_state(net.name(p));
+    control.net().set_initial_tokens(np, net.initial_tokens(p));
+  }
+  for (petri::TransitionId t : net.transitions()) {
+    control.add_transition(net.name(t));
+  }
+  for (petri::TransitionId t : net.transitions()) {
+    for (PlaceId p : net.pre(t)) control.net().connect(p, t);
+    for (PlaceId p : net.post(t)) control.net().connect(t, p);
+  }
+  for (PlaceId p : net.places()) {
+    for (ArcId a : system.control().controlled_arcs(p)) control.control(p, a);
+  }
+  for (petri::TransitionId t : net.transitions()) {
+    for (PortId g : system.control().guards(t)) {
+      control.guard(t, port_map[g.index()]);
+    }
+  }
+
+  dcf::System result(std::move(merged), std::move(control), system.name());
+  result.validate();
+  return result;
+}
+
+std::vector<std::pair<VertexId, VertexId>> mergeable_pairs(
+    const dcf::System& system) {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  const std::size_t n = system.datapath().vertex_count();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const VertexId vi(static_cast<VertexId::underlying_type>(i));
+      const VertexId vj(static_cast<VertexId::underlying_type>(j));
+      if (can_merge(system, vi, vj).legal) out.emplace_back(vi, vj);
+    }
+  }
+  return out;
+}
+
+dcf::System merge_all(const dcf::System& system, std::size_t* merges) {
+  dcf::System current = system;
+  std::size_t count = 0;
+  while (true) {
+    const auto pairs = mergeable_pairs(current);
+    if (pairs.empty()) break;
+    current = merge_vertices(current, pairs.front().first,
+                             pairs.front().second);
+    ++count;
+  }
+  if (merges != nullptr) *merges = count;
+  return current;
+}
+
+}  // namespace camad::transform

@@ -1,0 +1,47 @@
+// Vertex merger — the control-invariant transformation of Def 4.6.
+//
+// Merging V_i into V_j shares one hardware unit between two sets of
+// operations: legal when both vertices have the same operational
+// definition and port structure and their associated control states are
+// pairwise in sequential order (they never compete for the unit). The
+// result keeps the control structure untouched; arcs are re-anchored to
+// V_j's ports *preserving arc identity*, so every C(S) stays valid.
+//
+// Beyond the paper: merging *sequential* vertices (registers) is rejected
+// here — two registers hold distinct state, and Def 4.6's proof silently
+// assumes value lifetimes don't overlap; the sound register-sharing
+// transformation (live-range analysis + merge) lives in
+// transform/regshare.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dcf/system.h"
+
+namespace camad::transform {
+
+struct MergeCheck {
+  bool legal = false;
+  std::string why;  ///< reason when illegal
+};
+
+/// Checks Def 4.6's preconditions for merging `vi` into `vj`.
+MergeCheck can_merge(const dcf::System& system, dcf::VertexId vi,
+                     dcf::VertexId vj);
+
+/// Performs the merger; throws TransformError unless can_merge passes.
+/// Vertex ids are renumbered (V_i disappears); arc ids are preserved.
+dcf::System merge_vertices(const dcf::System& system, dcf::VertexId vi,
+                           dcf::VertexId vj);
+
+/// All currently legal (vi, vj) pairs, vi > vj (merge higher id into
+/// lower, keeping ids stable for chained mergers).
+std::vector<std::pair<dcf::VertexId, dcf::VertexId>> mergeable_pairs(
+    const dcf::System& system);
+
+/// Greedily merges legal pairs until none remain; returns the final
+/// system and the number of mergers performed.
+dcf::System merge_all(const dcf::System& system, std::size_t* merges = nullptr);
+
+}  // namespace camad::transform

@@ -1,0 +1,330 @@
+#include "transform/parallelize.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/error.h"
+
+namespace camad::transform {
+namespace {
+
+using dcf::ArcId;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+using Segment = LinearSegment;
+
+/// q follows p via a plain 1-in/1-out unguarded transition that is p's
+/// only consumer and q's only producer.
+std::optional<TransitionId> linear_link(const dcf::System& system, PlaceId p,
+                                        PlaceId q) {
+  const petri::Net& net = system.control().net();
+  if (net.post(p).size() != 1) return std::nullopt;
+  const TransitionId t = net.post(p).front();
+  if (!system.control().guards(t).empty()) return std::nullopt;
+  if (net.pre(t).size() != 1 || net.post(t).size() != 1) return std::nullopt;
+  if (net.post(t).front() != q) return std::nullopt;
+  if (net.pre(q).size() != 1) return std::nullopt;
+  return t;
+}
+
+std::vector<Segment> find_segments(const dcf::System& system,
+                                   std::size_t min_segment) {
+  const petri::Net& net = system.control().net();
+  const std::size_t n = net.place_count();
+
+  // successor[p] = q when linear_link(p, q) holds and q is not initial.
+  std::vector<PlaceId> successor(n, PlaceId::invalid());
+  std::vector<TransitionId> via(n, TransitionId::invalid());
+  std::vector<bool> has_pred(n, false);
+  for (PlaceId p : net.places()) {
+    // Initial-marked places cannot join a segment: M0 must stay put
+    // (Def 4.5), and a token initially on one segment state would strand
+    // the other fork roots.
+    if (net.initial_tokens(p) > 0) continue;
+    if (net.post(p).size() != 1) continue;
+    const TransitionId t = net.post(p).front();
+    if (net.post(t).size() != 1) continue;
+    const PlaceId q = net.post(t).front();
+    if (q == p) continue;  // self-loop is not a chain
+    if (net.initial_tokens(q) > 0) continue;
+    if (const auto link = linear_link(system, p, q)) {
+      successor[p.index()] = q;
+      via[p.index()] = *link;
+      has_pred[q.index()] = true;
+    }
+  }
+
+  std::vector<Segment> segments;
+  std::vector<bool> used(n, false);
+  for (PlaceId head : net.places()) {
+    // Start a run at every place that is not an interior target.
+    if (has_pred[head.index()] || used[head.index()]) continue;
+    Segment seg;
+    PlaceId cursor = head;
+    while (cursor.valid() && !used[cursor.index()]) {
+      if (net.initial_tokens(cursor) > 0) break;
+      seg.states.push_back(cursor);
+      used[cursor.index()] = true;
+      const PlaceId next = successor[cursor.index()];
+      if (next.valid()) seg.interior.push_back(via[cursor.index()]);
+      cursor = next;
+    }
+    if (!seg.interior.empty() &&
+        seg.interior.size() == seg.states.size()) {
+      seg.interior.pop_back();  // ran into a used place (cycle guard)
+    }
+    if (seg.states.size() >= std::max<std::size_t>(min_segment, 2)) {
+      segments.push_back(std::move(seg));
+    }
+  }
+  return segments;
+}
+
+/// Association set (arcs + associated vertices) overlap — Def 3.2 rule 1.
+bool resource_conflict(const dcf::System& system, PlaceId a, PlaceId b) {
+  const auto& arcs_a = system.control().controlled_arcs(a);
+  const auto& arcs_b = system.control().controlled_arcs(b);
+  for (ArcId arc : arcs_a) {
+    if (std::find(arcs_b.begin(), arcs_b.end(), arc) != arcs_b.end()) {
+      return true;
+    }
+  }
+  const auto va = system.associated_vertices(a);
+  const auto vb = system.associated_vertices(b);
+  for (VertexId v : va) {
+    if (std::find(vb.begin(), vb.end(), v) != vb.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+dcf::System parallelize(const dcf::System& system,
+                        const ParallelizeOptions& options,
+                        ParallelizeStats* stats) {
+  const petri::Net& net = system.control().net();
+  const semantics::DependenceRelation dep(system, options.dependence);
+
+  ParallelizeStats local_stats;
+  std::vector<Segment> segments = find_segments(system, options.min_segment);
+  local_stats.segments_found = segments.size();
+
+  // Per-segment plan: dependence DAG (transitively reduced) over local
+  // indices 0..m-1 of the segment's states.
+  struct Plan {
+    Segment segment;
+    std::vector<std::vector<std::size_t>> succ;  // reduced DAG
+    std::vector<std::size_t> pred_count;
+  };
+  std::vector<Plan> plans;
+
+  for (Segment& seg : segments) {
+    const std::size_t m = seg.states.size();
+    std::vector<DynamicBitset> edge(m, DynamicBitset(m));
+    auto dependent = [&](PlaceId a, PlaceId b) {
+      return options.strict_transitive ? dep.transitive(a, b)
+                                       : dep.direct(a, b);
+    };
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        if (dependent(seg.states[i], seg.states[j]) ||
+            (options.respect_resource_conflicts &&
+             resource_conflict(system, seg.states[i], seg.states[j]))) {
+          edge[i].set(j);
+        }
+      }
+    }
+    // If any exit transition (consumer of S_m) is guarded, its guard may
+    // read combinatorial ports whose arcs are only active while S_m is
+    // marked — S_m must then stay the unique sink so the exit's pre set
+    // is untouched. Unguarded exits instead get their pre substituted by
+    // the full sink set below.
+    const PlaceId last = seg.states.back();
+    bool force_last = false;
+    for (TransitionId t : net.post(last)) {
+      if (!system.control().guards(t).empty()) force_last = true;
+    }
+    if (force_last) {
+      for (std::size_t i = 0; i + 1 < m; ++i) edge[i].set(m - 1);
+    }
+
+    // Fully serial segment? Nothing to gain.
+    bool fully_serial = true;
+    for (std::size_t i = 0; i + 1 < m && fully_serial; ++i) {
+      if (!edge[i].test(i + 1)) fully_serial = false;
+    }
+    if (fully_serial) continue;
+
+    // Transitive closure over the (index-ordered, hence acyclic) DAG.
+    std::vector<DynamicBitset> closure = edge;
+    for (std::size_t j = m; j-- > 0;) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (closure[i].test(j)) closure[i] |= closure[j];
+      }
+    }
+    // Transitive reduction: drop (i,j) if some k with i->k and k=>j.
+    Plan plan;
+    plan.segment = std::move(seg);
+    plan.succ.assign(m, {});
+    plan.pred_count.assign(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      edge[i].for_each([&](std::size_t j) {
+        bool redundant = false;
+        edge[i].for_each([&](std::size_t k) {
+          if (k != j && closure[k].test(j)) redundant = true;
+        });
+        if (!redundant) {
+          plan.succ[i].push_back(j);
+          ++plan.pred_count[j];
+          ++local_stats.dependence_edges;
+        }
+      });
+    }
+    local_stats.segments_transformed += 1;
+    local_stats.states_in_segments += m;
+    plans.push_back(std::move(plan));
+  }
+
+  // ---- rebuild the control net --------------------------------------------
+  std::vector<bool> drop_transition(net.transition_count(), false);
+  for (const Plan& plan : plans) {
+    for (TransitionId t : plan.segment.interior) {
+      drop_transition[t.index()] = true;
+    }
+  }
+
+  dcf::ControlNet rebuilt;
+  for (PlaceId p : net.places()) {
+    const PlaceId np = rebuilt.add_state(net.name(p));
+    rebuilt.net().set_initial_tokens(np, net.initial_tokens(p));
+    for (ArcId a : system.control().controlled_arcs(p)) {
+      rebuilt.control(np, a);
+    }
+  }
+
+  // Fork substitution: entry transitions' posts replace S_1 by the roots.
+  // Join substitution: unguarded exit transitions' pres replace S_m by
+  // the sinks (when S_m was not forced to stay the unique sink).
+  std::vector<std::vector<PlaceId>> post_subst(net.place_count());
+  std::vector<std::vector<PlaceId>> pre_subst(net.place_count());
+  for (const Plan& plan : plans) {
+    const PlaceId first = plan.segment.states.front();
+    std::vector<PlaceId> roots;
+    for (std::size_t i = 0; i < plan.segment.states.size(); ++i) {
+      if (plan.pred_count[i] == 0) roots.push_back(plan.segment.states[i]);
+    }
+    post_subst[first.index()] = std::move(roots);
+
+    const PlaceId last = plan.segment.states.back();
+    std::vector<PlaceId> sinks;
+    for (std::size_t i = 0; i < plan.segment.states.size(); ++i) {
+      if (plan.succ[i].empty()) sinks.push_back(plan.segment.states[i]);
+    }
+    if (sinks.size() > 1 || (sinks.size() == 1 && sinks[0] != last)) {
+      pre_subst[last.index()] = std::move(sinks);
+    }
+  }
+
+  // Retained transitions (same names; guards copied; posts substituted).
+  for (TransitionId t : net.transitions()) {
+    if (drop_transition[t.index()]) continue;
+    const TransitionId nt = rebuilt.add_transition(net.name(t));
+    for (PlaceId p : net.pre(t)) {
+      const auto& subst = pre_subst[p.index()];
+      if (subst.empty()) {
+        rebuilt.net().connect(p, nt);
+      } else {
+        for (PlaceId sink : subst) rebuilt.net().connect(sink, nt);
+      }
+    }
+    for (PlaceId p : net.post(t)) {
+      const auto& subst = post_subst[p.index()];
+      if (subst.empty()) {
+        rebuilt.net().connect(nt, p);
+      } else {
+        for (PlaceId root : subst) rebuilt.net().connect(nt, root);
+      }
+    }
+    for (dcf::PortId g : system.control().guards(t)) rebuilt.guard(nt, g);
+  }
+
+  // DAG realization per segment. The realization minimizes helper places
+  // so synchronization costs no extra cycles in the common shapes:
+  //   * a single-successor node's token is consumed *directly* by its
+  //     successor's entry transition (join over states);
+  //   * a multi-successor node needs one fork transition; each of its
+  //     edges posts the successor state directly when that successor has
+  //     no other predecessor, otherwise a control-only helper place that
+  //     the successor's join consumes.
+  for (const Plan& plan : plans) {
+    const auto& states = plan.segment.states;
+    const std::size_t m = states.size();
+    // Predecessor lists from the successor lists.
+    std::vector<std::vector<std::size_t>> pred(m);
+    for (std::size_t u = 0; u < m; ++u) {
+      for (std::size_t v : plan.succ[u]) pred[v].push_back(u);
+    }
+
+    // helper[u][v] place for edges from multi-succ u into multi-pred v.
+    std::vector<std::vector<PlaceId>> helper(
+        m, std::vector<PlaceId>(m, PlaceId::invalid()));
+    for (std::size_t u = 0; u < m; ++u) {
+      if (plan.succ[u].size() < 2) continue;
+      for (std::size_t v : plan.succ[u]) {
+        if (pred[v].size() >= 2) {
+          helper[u][v] = rebuilt.add_state(
+              "h_" + net.name(states[u]) + "_" + net.name(states[v]));
+          ++local_stats.helper_places;
+        }
+      }
+    }
+
+    // Fork transition per multi-successor node.
+    for (std::size_t u = 0; u < m; ++u) {
+      if (plan.succ[u].size() < 2) continue;
+      const TransitionId t =
+          rebuilt.add_transition("fork_" + net.name(states[u]));
+      rebuilt.net().connect(states[u], t);
+      for (std::size_t v : plan.succ[u]) {
+        rebuilt.net().connect(
+            t, helper[u][v].valid() ? helper[u][v] : states[v]);
+      }
+    }
+
+    // Entry transition per node with predecessors, unless the node was
+    // already fed directly by every predecessor's fork.
+    for (std::size_t v = 0; v < m; ++v) {
+      if (pred[v].empty()) continue;
+      std::vector<PlaceId> sources;
+      for (std::size_t u : pred[v]) {
+        if (plan.succ[u].size() == 1) {
+          sources.push_back(states[u]);  // consume u's token directly
+        } else if (helper[u][v].valid()) {
+          sources.push_back(helper[u][v]);
+        }
+        // else: u's fork posted states[v] directly; nothing to consume.
+      }
+      if (sources.empty()) continue;
+      const TransitionId t =
+          rebuilt.add_transition("join_" + net.name(states[v]));
+      for (PlaceId s : sources) rebuilt.net().connect(s, t);
+      rebuilt.net().connect(t, states[v]);
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  dcf::System result(system.datapath(), std::move(rebuilt), system.name());
+  result.validate();
+  return result;
+}
+
+std::vector<LinearSegment> find_linear_segments(const dcf::System& system,
+                                                std::size_t min_states) {
+  return find_segments(system, min_states);
+}
+
+}  // namespace camad::transform

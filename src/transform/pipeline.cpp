@@ -1,0 +1,79 @@
+#include "transform/pipeline.h"
+
+#include "transform/chain.h"
+#include "transform/cleanup.h"
+#include "transform/merge.h"
+#include "transform/parallelize.h"
+#include "transform/regshare.h"
+#include "util/error.h"
+
+namespace camad::transform {
+
+Pipeline::Pipeline(dcf::System initial) : current_(std::move(initial)) {}
+
+Pipeline& Pipeline::run(
+    const std::string& name,
+    const std::function<dcf::System(const dcf::System&)>& pass) {
+  dcf::System next = pass(current_);
+  if (verify_) {
+    const semantics::EquivalenceVerdict verdict =
+        semantics::differential_equivalence(current_, next, verify_options_);
+    if (!verdict.holds) {
+      throw TransformError("pipeline step '" + name +
+                           "' failed verification: " + verdict.why);
+    }
+  }
+  log_.push_back(name + ": " +
+                 std::to_string(current_.control().net().place_count()) +
+                 " -> " + std::to_string(next.control().net().place_count()) +
+                 " states, " + std::to_string(current_.datapath().vertex_count()) +
+                 " -> " + std::to_string(next.datapath().vertex_count()) +
+                 " vertices");
+  current_ = std::move(next);
+  return *this;
+}
+
+Pipeline& Pipeline::parallelize() {
+  return run("parallelize", [](const dcf::System& s) {
+    return transform::parallelize(s);
+  });
+}
+
+Pipeline& Pipeline::merge_all() {
+  return run("merge_all", [](const dcf::System& s) {
+    return transform::merge_all(s);
+  });
+}
+
+Pipeline& Pipeline::share_registers() {
+  return run("share_registers", [](const dcf::System& s) {
+    return transform::share_registers(s);
+  });
+}
+
+Pipeline& Pipeline::chain_states() {
+  return run("chain_states", [](const dcf::System& s) {
+    return transform::chain_states(s);
+  });
+}
+
+Pipeline& Pipeline::cleanup() {
+  return run("cleanup", [](const dcf::System& s) {
+    return transform::cleanup_control(s);
+  });
+}
+
+Pipeline& Pipeline::apply(
+    const std::string& name,
+    const std::function<dcf::System(const dcf::System&)>& pass) {
+  return run(name, pass);
+}
+
+Pipeline& Pipeline::verify_each(
+    const semantics::DifferentialOptions& options) {
+  verify_ = true;
+  verify_options_ = options;
+  return *this;
+}
+
+}  // namespace camad::transform

@@ -1,0 +1,54 @@
+// Verified transformation pipelines.
+//
+// Library-level counterpart of `camadc transform`: apply a sequence of
+// named passes, optionally differentially verifying each step against
+// its input, and keep a human-readable log. Used when a caller wants the
+// optimizer's building blocks under manual control with the same safety
+// net the optimizer has.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dcf/system.h"
+#include "semantics/equivalence.h"
+
+namespace camad::transform {
+
+class Pipeline {
+ public:
+  explicit Pipeline(dcf::System initial);
+
+  /// Built-in passes.
+  Pipeline& parallelize();
+  Pipeline& merge_all();
+  Pipeline& share_registers();
+  Pipeline& chain_states();
+  Pipeline& cleanup();
+
+  /// Custom pass: any System -> System function.
+  Pipeline& apply(const std::string& name,
+                  const std::function<dcf::System(const dcf::System&)>& pass);
+
+  /// Differentially verify every subsequent step against its input;
+  /// a failing step throws TransformError and leaves the pipeline at the
+  /// last good system.
+  Pipeline& verify_each(const semantics::DifferentialOptions& options = {});
+
+  [[nodiscard]] const dcf::System& current() const { return current_; }
+  /// One line per applied pass, e.g. "merge_all: 652 -> 530 area-free log".
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+  [[nodiscard]] std::size_t steps() const { return log_.size(); }
+
+ private:
+  Pipeline& run(const std::string& name,
+                const std::function<dcf::System(const dcf::System&)>& pass);
+
+  dcf::System current_;
+  std::vector<std::string> log_;
+  bool verify_ = false;
+  semantics::DifferentialOptions verify_options_;
+};
+
+}  // namespace camad::transform

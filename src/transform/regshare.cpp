@@ -1,0 +1,226 @@
+#include "transform/regshare.h"
+
+#include <algorithm>
+#include <string>
+
+#include "petri/order.h"
+#include "util/error.h"
+
+namespace camad::transform {
+namespace {
+
+using dcf::ArcId;
+using dcf::PortId;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+/// True for plain data registers: internal vertex, single input port,
+/// single kReg output port. (Multi-output or exotic sequential vertices
+/// are left alone.)
+bool is_plain_register(const dcf::DataPath& dp, VertexId v) {
+  return dp.kind(v) == dcf::VertexKind::kInternal &&
+         dp.input_ports(v).size() == 1 && dp.output_ports(v).size() == 1 &&
+         dp.operation(dp.output_ports(v)[0]).code == dcf::OpCode::kReg;
+}
+
+}  // namespace
+
+LivenessResult analyze_liveness(const dcf::System& system) {
+  const dcf::DataPath& dp = system.datapath();
+  const petri::Net& net = system.control().net();
+  const std::size_t nstates = net.place_count();
+
+  LivenessResult result;
+  std::vector<std::size_t> reg_index(dp.vertex_count(),
+                                     static_cast<std::size_t>(-1));
+  for (VertexId v : dp.vertices()) {
+    if (is_plain_register(dp, v)) {
+      reg_index[v.index()] = result.registers.size();
+      result.registers.push_back(v);
+    }
+  }
+  const std::size_t nregs = result.registers.size();
+
+  result.reads.assign(nstates, DynamicBitset(nregs));
+  result.writes.assign(nstates, DynamicBitset(nregs));
+  result.live_in.assign(nstates, DynamicBitset(nregs));
+  result.live_out.assign(nstates, DynamicBitset(nregs));
+
+  for (PlaceId s : net.places()) {
+    for (VertexId v : system.domain(s)) {
+      const std::size_t r = reg_index[v.index()];
+      if (r != static_cast<std::size_t>(-1)) result.reads[s.index()].set(r);
+    }
+    for (VertexId v : system.result_set(s)) {
+      const std::size_t r = reg_index[v.index()];
+      if (r != static_cast<std::size_t>(-1)) result.writes[s.index()].set(r);
+    }
+  }
+
+  // State successor graph: S -> S' via any transition.
+  std::vector<std::vector<std::size_t>> succ(nstates);
+  for (TransitionId t : net.transitions()) {
+    for (PlaceId pre : net.pre(t)) {
+      for (PlaceId post : net.post(t)) {
+        succ[pre.index()].push_back(post.index());
+      }
+    }
+  }
+
+  // Backward fixpoint: live_out = ∪ live_in(succ);
+  // live_in = reads ∪ (live_out \ writes).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = nstates; s-- > 0;) {
+      DynamicBitset out(nregs);
+      for (std::size_t next : succ[s]) out |= result.live_in[next];
+      DynamicBitset in = out;
+      in.and_not(result.writes[s]);
+      in |= result.reads[s];
+      if (!(out == result.live_out[s]) || !(in == result.live_in[s])) {
+        result.live_out[s] = std::move(out);
+        result.live_in[s] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+graph::UndirectedGraph interference_graph(const dcf::System& system,
+                                          const LivenessResult& liveness) {
+  const std::size_t nregs = liveness.registers.size();
+  const std::size_t nstates = liveness.live_in.size();
+  graph::UndirectedGraph graph(nregs);
+
+  auto connect_cross = [&](const DynamicBitset& a, const DynamicBitset& b) {
+    a.for_each([&](std::size_t r1) {
+      b.for_each([&](std::size_t r2) {
+        if (r1 != r2) graph.add_edge(r1, r2);
+      });
+    });
+  };
+
+  for (std::size_t s = 0; s < nstates; ++s) {
+    // Written while another is live afterwards.
+    connect_cross(liveness.writes[s], liveness.live_out[s]);
+    // Two writes in one state would drive one physical input port twice.
+    connect_cross(liveness.writes[s], liveness.writes[s]);
+  }
+
+  // Parallel states: values coexist across concurrent branches.
+  const petri::OrderRelations order(system.control().net());
+  for (std::size_t i = 0; i < nstates; ++i) {
+    for (std::size_t j = i + 1; j < nstates; ++j) {
+      const PlaceId si(static_cast<PlaceId::underlying_type>(i));
+      const PlaceId sj(static_cast<PlaceId::underlying_type>(j));
+      if (!order.parallel(si, sj)) continue;
+      DynamicBitset a = liveness.live_in[i];
+      a |= liveness.writes[i];
+      DynamicBitset b = liveness.live_in[j];
+      b |= liveness.writes[j];
+      connect_cross(a, b);
+    }
+  }
+  return graph;
+}
+
+dcf::System share_registers(const dcf::System& system, RegShareStats* stats) {
+  const dcf::DataPath& dp = system.datapath();
+  const LivenessResult liveness = analyze_liveness(system);
+  const graph::UndirectedGraph interference =
+      interference_graph(system, liveness);
+  const graph::ColoringResult coloring = graph::color_dsatur(interference);
+
+  RegShareStats local;
+  local.registers_before = liveness.registers.size();
+  local.registers_after = coloring.color_count;
+  for (std::size_t v = 0; v < interference.node_count(); ++v) {
+    local.interference_edges += interference.degree(v);
+  }
+  local.interference_edges /= 2;
+  if (stats != nullptr) *stats = local;
+
+  if (coloring.color_count == liveness.registers.size()) {
+    return system;  // nothing shareable
+  }
+
+  // Representative (first member) per colour.
+  std::vector<VertexId> representative(coloring.color_count,
+                                       VertexId::invalid());
+  std::vector<std::size_t> color_of_vertex(dp.vertex_count(),
+                                           static_cast<std::size_t>(-1));
+  for (std::size_t r = 0; r < liveness.registers.size(); ++r) {
+    const std::size_t colour = coloring.color[r];
+    color_of_vertex[liveness.registers[r].index()] = colour;
+    if (!representative[colour].valid()) {
+      representative[colour] = liveness.registers[r];
+    }
+  }
+
+  // Rebuild the data path keeping representatives, dropping the rest.
+  dcf::DataPath shared;
+  std::vector<PortId> port_map(dp.port_count(), PortId::invalid());
+  std::vector<VertexId> vertex_map(dp.vertex_count(), VertexId::invalid());
+  for (VertexId v : dp.vertices()) {
+    const std::size_t colour = color_of_vertex[v.index()];
+    const bool dropped =
+        colour != static_cast<std::size_t>(-1) && representative[colour] != v;
+    if (dropped) continue;
+    const VertexId nv = shared.add_vertex(dp.name(v), dp.kind(v));
+    vertex_map[v.index()] = nv;
+    for (PortId in : dp.input_ports(v)) {
+      port_map[in.index()] = shared.add_input_port(nv, dp.name(in));
+    }
+    for (PortId out : dp.output_ports(v)) {
+      port_map[out.index()] =
+          shared.add_output_port(nv, dp.operation(out), dp.name(out));
+    }
+  }
+  // Dropped registers alias their representative's ports.
+  for (std::size_t r = 0; r < liveness.registers.size(); ++r) {
+    const VertexId v = liveness.registers[r];
+    const VertexId rep = representative[coloring.color[r]];
+    if (rep == v) continue;
+    port_map[dp.input_ports(v)[0].index()] =
+        port_map[dp.input_ports(rep)[0].index()];
+    port_map[dp.output_ports(v)[0].index()] =
+        port_map[dp.output_ports(rep)[0].index()];
+  }
+
+  for (ArcId a : dp.arcs()) {
+    shared.add_arc(port_map[dp.arc_source(a).index()],
+                   port_map[dp.arc_target(a).index()]);
+  }
+
+  // Control net is copied verbatim; guards re-anchored.
+  dcf::ControlNet control;
+  const petri::Net& net = system.control().net();
+  for (PlaceId p : net.places()) {
+    const PlaceId np = control.add_state(net.name(p));
+    control.net().set_initial_tokens(np, net.initial_tokens(p));
+  }
+  for (TransitionId t : net.transitions()) {
+    control.add_transition(net.name(t));
+  }
+  for (TransitionId t : net.transitions()) {
+    for (PlaceId p : net.pre(t)) control.net().connect(p, t);
+    for (PlaceId p : net.post(t)) control.net().connect(t, p);
+  }
+  for (PlaceId p : net.places()) {
+    for (ArcId a : system.control().controlled_arcs(p)) control.control(p, a);
+  }
+  for (TransitionId t : net.transitions()) {
+    for (PortId g : system.control().guards(t)) {
+      control.guard(t, port_map[g.index()]);
+    }
+  }
+
+  dcf::System result(std::move(shared), std::move(control), system.name());
+  result.validate();
+  return result;
+}
+
+}  // namespace camad::transform

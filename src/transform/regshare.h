@@ -1,0 +1,57 @@
+// Register sharing: the sound sequential-vertex merger.
+//
+// Def 4.6's precondition (same operation + port structure, users in
+// sequential order) is *not* sufficient for registers: two registers
+// hold distinct live values, and merging them is only safe when their
+// value lifetimes never overlap. This module supplies the missing
+// analysis — classical may-liveness over the control net's state graph —
+// and shares registers by colouring the interference graph (DSATUR),
+// exactly the register-allocation step a CAMAD-era synthesis system ran
+// after scheduling.
+//
+// Interference rules (conservative, hence sound):
+//   * r1 is written in a state where r2 is live-out            (overlap)
+//   * r1 and r2 are written in the same state                  (port clash)
+//   * r1 and r2 are live or written in structurally parallel
+//     states (they coexist in time across branches)            (Def 2.3 ∥)
+#pragma once
+
+#include <vector>
+
+#include "dcf/system.h"
+#include "graph/coloring.h"
+#include "util/bitset.h"
+
+namespace camad::transform {
+
+/// Liveness of registers across control states. Register sets are
+/// indexed positionally into `registers`.
+struct LivenessResult {
+  std::vector<dcf::VertexId> registers;   ///< analyzed register vertices
+  std::vector<DynamicBitset> live_in;     ///< state index -> register set
+  std::vector<DynamicBitset> live_out;
+  std::vector<DynamicBitset> reads;       ///< dom-side register uses
+  std::vector<DynamicBitset> writes;      ///< R(S) registers
+};
+
+/// Backward may-liveness to a fixpoint over the state graph (S -> S'
+/// whenever some transition consumes S and produces S').
+LivenessResult analyze_liveness(const dcf::System& system);
+
+/// Interference graph over `liveness.registers`.
+graph::UndirectedGraph interference_graph(const dcf::System& system,
+                                          const LivenessResult& liveness);
+
+struct RegShareStats {
+  std::size_t registers_before = 0;
+  std::size_t registers_after = 0;
+  std::size_t interference_edges = 0;
+};
+
+/// Allocates physical registers by colouring and rebuilds the system with
+/// each colour class merged into one register. Arc identities are
+/// preserved (C mappings stay valid); guard ports are re-anchored.
+dcf::System share_registers(const dcf::System& system,
+                            RegShareStats* stats = nullptr);
+
+}  // namespace camad::transform

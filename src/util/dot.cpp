@@ -1,0 +1,82 @@
+#include "util/dot.h"
+
+#include "util/error.h"
+
+namespace camad {
+
+DotWriter::DotWriter(std::string_view graph_name) {
+  os_ << "digraph \"" << escape(graph_name) << "\" {\n";
+  os_ << "  rankdir=TB;\n";
+}
+
+std::string DotWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void DotWriter::indent() {
+  for (int i = 0; i < depth_; ++i) os_ << "  ";
+}
+
+void DotWriter::add_node(std::string_view id, const Attrs& attrs) {
+  indent();
+  os_ << '"' << escape(id) << '"';
+  if (!attrs.empty()) {
+    os_ << " [";
+    bool first = true;
+    for (const auto& [key, value] : attrs) {
+      if (!first) os_ << ", ";
+      first = false;
+      os_ << key << "=\"" << escape(value) << '"';
+    }
+    os_ << ']';
+  }
+  os_ << ";\n";
+}
+
+void DotWriter::add_edge(std::string_view from, std::string_view to,
+                         const Attrs& attrs) {
+  indent();
+  os_ << '"' << escape(from) << "\" -> \"" << escape(to) << '"';
+  if (!attrs.empty()) {
+    os_ << " [";
+    bool first = true;
+    for (const auto& [key, value] : attrs) {
+      if (!first) os_ << ", ";
+      first = false;
+      os_ << key << "=\"" << escape(value) << '"';
+    }
+    os_ << ']';
+  }
+  os_ << ";\n";
+}
+
+void DotWriter::begin_cluster(std::string_view id, std::string_view label) {
+  indent();
+  os_ << "subgraph \"cluster_" << escape(id) << "\" {\n";
+  ++depth_;
+  indent();
+  os_ << "label=\"" << escape(label) << "\";\n";
+}
+
+void DotWriter::end_cluster() {
+  if (depth_ <= 1) throw Error("DotWriter: unbalanced end_cluster");
+  --depth_;
+  indent();
+  os_ << "}\n";
+}
+
+std::string DotWriter::finish() {
+  if (finished_) throw Error("DotWriter: finish called twice");
+  while (depth_ > 1) end_cluster();
+  os_ << "}\n";
+  finished_ = true;
+  return os_.str();
+}
+
+}  // namespace camad

@@ -1,0 +1,39 @@
+// Tiny Graphviz DOT writer used by the Petri-net and data-path exporters.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace camad {
+
+/// Streams a DOT digraph. Node/edge attribute lists are passed as
+/// (key, value) pairs; values are quoted and escaped by the writer.
+class DotWriter {
+ public:
+  using Attrs = std::vector<std::pair<std::string, std::string>>;
+
+  explicit DotWriter(std::string_view graph_name);
+
+  void add_node(std::string_view id, const Attrs& attrs = {});
+  void add_edge(std::string_view from, std::string_view to,
+                const Attrs& attrs = {});
+  /// Opens a cluster subgraph; nodes added until end_cluster() nest inside.
+  void begin_cluster(std::string_view id, std::string_view label);
+  void end_cluster();
+
+  /// Finishes the graph and returns the DOT text.
+  [[nodiscard]] std::string finish();
+
+  static std::string escape(std::string_view text);
+
+ private:
+  void indent();
+
+  std::ostringstream os_;
+  int depth_ = 1;
+  bool finished_ = false;
+};
+
+}  // namespace camad

@@ -1,0 +1,60 @@
+// Error types thrown by camad.
+//
+// Construction and validation failures throw; algorithmic queries that can
+// legitimately fail return std::optional or a result struct instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace camad {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A model was built inconsistently (dangling port, duplicate arc, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// A "properly designed" well-formedness condition (Def 3.2) is violated
+/// where the caller required it to hold.
+class DesignRuleError : public Error {
+ public:
+  explicit DesignRuleError(const std::string& what) : Error(what) {}
+};
+
+/// A transformation's legality precondition does not hold.
+class TransformError : public Error {
+ public:
+  explicit TransformError(const std::string& what) : Error(what) {}
+};
+
+/// BDL source text could not be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Simulation could not proceed (e.g. environment exhausted).
+class SimulationError : public Error {
+ public:
+  explicit SimulationError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace camad

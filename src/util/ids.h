@@ -1,0 +1,63 @@
+// Strong ID types.
+//
+// Every index space in camad (vertices, ports, arcs, places, transitions,
+// ...) gets its own incompatible ID type so that an ArcId can never be
+// passed where a PlaceId is expected. IDs are thin wrappers around a
+// 32-bit index with a reserved "invalid" sentinel.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace camad {
+
+/// A strongly typed index. `Tag` is any (possibly incomplete) type used
+/// only to make distinct instantiations incompatible.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Constructs the invalid sentinel id.
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  /// Raw index value; only meaningful when `valid()`.
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  /// Convenience for indexing into std::vector.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr explicit operator bool() const { return valid(); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  static constexpr StrongId invalid() { return StrongId(); }
+
+ private:
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+}  // namespace camad
+
+namespace std {
+template <typename Tag>
+struct hash<camad::StrongId<Tag>> {
+  size_t operator()(camad::StrongId<Tag> id) const noexcept {
+    return std::hash<typename camad::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,38 @@
+// Small string helpers shared across modules (GCC 12 lacks std::format).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace camad {
+
+/// Joins the elements of `items` (streamed with operator<<) with `sep`.
+template <typename Range>
+std::string join(const Range& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True iff `text` starts with `prefix`.
+inline bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string format_double(double value, int digits = 3);
+
+}  // namespace camad

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace camad {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw Error("Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw Error("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  const std::size_t cols = header_.size();
+  std::vector<std::size_t> width(cols);
+  std::vector<bool> numeric(cols, !rows_.empty());
+  for (std::size_t c = 0; c < cols; ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c != 0) os << " | ";
+      const std::size_t pad = width[c] - row[c].size();
+      if (align_right && numeric[c]) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(header_, /*align_right=*/false);
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c != 0) os << "-+-";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_right=*/true);
+  return os.str();
+}
+
+}  // namespace camad

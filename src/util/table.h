@@ -1,0 +1,31 @@
+// ASCII table renderer used by examples and benchmark reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace camad {
+
+/// Accumulates rows of string cells and renders a padded, ruled table.
+/// Numeric cells are right-aligned (detected per column by majority).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column rules, e.g.
+  ///   design   | serial | parallel | speedup
+  ///   ---------+--------+----------+--------
+  ///   diffeq   |     12 |        6 |    2.00
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace camad

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "dcf/check.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "synth/compile.h"
+#include "synth/designs.h"
+#include "util/error.h"
+
+namespace camad::synth {
+namespace {
+
+using dcf::Value;
+
+/// Runs a compiled design with fixed input streams; returns the value
+/// sequence observed on `channel`.
+std::vector<Value> run(const dcf::System& sys,
+                       const std::vector<std::pair<std::string,
+                                                   std::vector<std::int64_t>>>&
+                           inputs,
+                       const std::string& channel,
+                       std::uint64_t max_cycles = 100000) {
+  sim::Environment env;
+  for (const auto& [name, values] : inputs) {
+    const dcf::VertexId v = sys.datapath().find_vertex(name);
+    EXPECT_TRUE(v.valid()) << name;
+    env.set_stream(v, values);
+  }
+  sim::SimOptions options;
+  options.max_cycles = max_cycles;
+  const sim::SimResult result = sim::simulate(sys, env, options);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_TRUE(result.violations.empty());
+
+  std::vector<Value> out;
+  const dcf::DataPath& dp = sys.datapath();
+  for (const auto& e : result.trace.events()) {
+    const dcf::VertexId dst = dp.arc_target_vertex(e.arc);
+    if (dp.kind(dst) == dcf::VertexKind::kOutput && dp.name(dst) == channel) {
+      out.push_back(e.value);
+    }
+  }
+  return out;
+}
+
+TEST(Compile, StraightLineAssign) {
+  const dcf::System sys = compile_source(
+      "design t { in a; out o; var x; begin x := a + 1; o := x * 2; end }");
+  const auto out = run(sys, {{"a", {20}}}, "o");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Value(42));
+}
+
+TEST(Compile, StatsCountResources) {
+  CompileStats stats;
+  compile_source(
+      "design t { in a; out o; var x; begin x := a + 1; o := x * 2; end }",
+      &stats);
+  EXPECT_EQ(stats.registers, 1u);         // x
+  EXPECT_EQ(stats.functional_units, 2u);  // add, mul
+  EXPECT_EQ(stats.constants, 2u);         // 1, 2
+  EXPECT_EQ(stats.states, 2u);
+  EXPECT_GE(stats.transitions, 2u);
+}
+
+TEST(Compile, IfElseTakesCorrectBranch) {
+  const char* source = R"(design sel {
+    in a; out o; var x;
+    begin
+      x := a;
+      if x > 10 { o := 1; } else { o := 0; }
+    end
+  })";
+  const dcf::System sys = compile_source(source);
+  EXPECT_EQ(run(sys, {{"a", {50}}}, "o"), (std::vector<Value>{Value(1)}));
+  const dcf::System sys2 = compile_source(source);
+  EXPECT_EQ(run(sys2, {{"a", {3}}}, "o"), (std::vector<Value>{Value(0)}));
+}
+
+TEST(Compile, IfWithoutElse) {
+  const char* source = R"(design opt {
+    in a; out o; var x;
+    begin
+      x := a;
+      if x > 10 { x := x - 10; }
+      o := x;
+    end
+  })";
+  EXPECT_EQ(run(compile_source(source), {{"a", {17}}}, "o"),
+            (std::vector<Value>{Value(7)}));
+  EXPECT_EQ(run(compile_source(source), {{"a", {4}}}, "o"),
+            (std::vector<Value>{Value(4)}));
+}
+
+TEST(Compile, WhileLoopCountsDown) {
+  const char* source = R"(design cnt {
+    in a; out o; var n, acc;
+    begin
+      n := a;
+      acc := 0;
+      while n > 0 {
+        acc := acc + n;
+        n := n - 1;
+      }
+      o := acc;
+    end
+  })";
+  EXPECT_EQ(run(compile_source(source), {{"a", {5}}}, "o"),
+            (std::vector<Value>{Value(15)}));
+  EXPECT_EQ(run(compile_source(source), {{"a", {0}}}, "o"),
+            (std::vector<Value>{Value(0)}));
+}
+
+TEST(Compile, ParForkJoin) {
+  const dcf::System sys = compile_source(std::string(parlab_source()));
+  // w=a0*b0, x=w+a1; y=c0*d0, z=y+c1; p=x+z, q=x-z
+  const auto p = run(sys, {{"a", {3, 4}}, {"b", {5}}, {"c", {2, 6}},
+                           {"d", {7}}},
+                     "p");
+  // w=15, x=19, y=14, z=20 -> p=39
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], Value(39));
+}
+
+TEST(Compile, GcdMatchesEuclid) {
+  const dcf::System sys = compile_source(std::string(gcd_source()));
+  struct Case {
+    std::int64_t a, b, g;
+  };
+  for (const Case c :
+       {Case{12, 8, 4}, Case{35, 14, 7}, Case{9, 9, 9}, Case{13, 7, 1}}) {
+    const dcf::System fresh = compile_source(std::string(gcd_source()));
+    const auto out = run(fresh, {{"a", {c.a}}, {"b", {c.b}}}, "g");
+    ASSERT_EQ(out.size(), 1u) << c.a << "," << c.b;
+    EXPECT_EQ(out[0], Value(c.g)) << c.a << "," << c.b;
+  }
+}
+
+TEST(Compile, DiffeqRunsEulerSteps) {
+  const dcf::System sys = compile_source(std::string(diffeq_source()));
+  // x from 0 to 3 step 1: three iterations; check x_out == 3.
+  const auto x_out = run(sys,
+                         {{"a_in", {3}},
+                          {"dx_in", {1}},
+                          {"x_in", {0}},
+                          {"u_in", {1}},
+                          {"y_in", {0}}},
+                         "x_out");
+  ASSERT_EQ(x_out.size(), 1u);
+  EXPECT_EQ(x_out[0], Value(3));
+}
+
+TEST(Compile, TrafficEmitsTwelveLights) {
+  const dcf::System sys = compile_source(std::string(traffic_source()));
+  const auto lights = run(
+      sys, {{"sensor", std::vector<std::int64_t>(12, 10)}}, "light");
+  EXPECT_EQ(lights.size(), 12u);
+  for (const Value& v : lights) {
+    EXPECT_TRUE(v.defined());
+    EXPECT_GE(v.raw(), 0);
+    EXPECT_LE(v.raw(), 3);
+  }
+}
+
+TEST(Compile, AllDesignsProperlyDesigned) {
+  for (const NamedDesign& d : all_designs()) {
+    const dcf::System sys = compile_source(std::string(d.source));
+    const dcf::CheckReport report = dcf::check_properly_designed(sys);
+    EXPECT_TRUE(report.ok()) << d.name << ": " << report.to_string();
+  }
+}
+
+TEST(Compile, EachInputReadConsumesAStreamValue) {
+  // Reading `a` in two different states sees two successive values.
+  const char* source = R"(design twice {
+    in a; out o; var x, y;
+    begin
+      x := a;
+      y := a;
+      o := x * 100 + y;
+    end
+  })";
+  const auto out = run(compile_source(source), {{"a", {7, 9}}}, "o");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Value(709));
+}
+
+TEST(Compile, SameStateReadsShareOneValue) {
+  const char* source = R"(design once {
+    in a; out o; var x;
+    begin
+      x := a + a;
+      o := x;
+    end
+  })";
+  const auto out = run(compile_source(source), {{"a", {21, 999}}}, "o");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Value(42));
+}
+
+TEST(Compile, MuxComputesMax) {
+  // Branchless max in a single control state.
+  const char* source = R"(design mx {
+    in a, b; out o;
+    begin
+      o := mux(a > b, a, b);
+    end
+  })";
+  EXPECT_EQ(run(compile_source(source), {{"a", {9}}, {"b", {4}}}, "o"),
+            (std::vector<Value>{Value(9)}));
+  EXPECT_EQ(run(compile_source(source), {{"a", {2}}, {"b", {7}}}, "o"),
+            (std::vector<Value>{Value(7)}));
+  // One state only: the whole select happens combinationally.
+  CompileStats stats;
+  compile_source(source, &stats);
+  EXPECT_EQ(stats.states, 1u);
+}
+
+TEST(Compile, RejectsEmptyBody) {
+  EXPECT_THROW(compile_source("design e { var x; begin end }"),
+               camad::ModelError);
+}
+
+TEST(Compile, NestedControlStructures) {
+  const char* source = R"(design nest {
+    in a; out o; var i, j, acc;
+    begin
+      acc := 0;
+      i := a;
+      while i > 0 {
+        j := i;
+        while j > 0 {
+          if j % 2 == 0 { acc := acc + 2; } else { acc := acc + 1; }
+          j := j - 1;
+        }
+        i := i - 1;
+      }
+      o := acc;
+    end
+  })";
+  // i=3: j=3 ->1+2+1=4; j-loop for i=2: 2+1=3; i=1: 1. total 4+3+1=8
+  const auto out = run(compile_source(source), {{"a", {3}}}, "o");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Value(8));
+}
+
+}  // namespace
+}  // namespace camad::synth

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "synth/ast.h"
+#include "synth/designs.h"
+#include "synth/lexer.h"
+#include "synth/parser.h"
+#include "util/error.h"
+
+namespace camad::synth {
+namespace {
+
+TEST(Lexer, TokenKindsAndPositions) {
+  const auto tokens = tokenize("design foo {\n  x := 42; # comment\n}");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[0].text, "design");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[3].text, "x");
+  EXPECT_EQ(tokens[3].line, 2);
+  EXPECT_EQ(tokens[4].text, ":=");
+  EXPECT_EQ(tokens[5].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[5].number, 42);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEndOfFile);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = tokenize("# a whole line\nx # trailing\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "x");
+}
+
+TEST(Lexer, LongSymbolsWinOverShort) {
+  const auto tokens = tokenize("<= < << =");
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, "<");
+  EXPECT_EQ(tokens[2].text, "<<");
+  EXPECT_EQ(tokens[3].text, "=");
+}
+
+TEST(Lexer, RejectsIllegalInput) {
+  EXPECT_THROW(tokenize("x @ y"), ParseError);
+  EXPECT_THROW(tokenize("9999999999999999999999"), ParseError);
+  EXPECT_THROW(tokenize("12abc"), ParseError);
+}
+
+TEST(Expr, PrecedenceViaPrinter) {
+  EXPECT_EQ(to_source(*parse_expression("a + b * c")), "(a + (b * c))");
+  EXPECT_EQ(to_source(*parse_expression("a * b + c")), "((a * b) + c)");
+  EXPECT_EQ(to_source(*parse_expression("a + b < c << 2")),
+            "((a + b) < (c << 2))");
+  EXPECT_EQ(to_source(*parse_expression("a & b == c")), "(a & (b == c))");
+  EXPECT_EQ(to_source(*parse_expression("a | b ^ c & d")),
+            "(a | (b ^ (c & d)))");
+  EXPECT_EQ(to_source(*parse_expression("-a + !b")), "(-(a) + !(b))");
+  EXPECT_EQ(to_source(*parse_expression("(a + b) * c")), "((a + b) * c)");
+  EXPECT_EQ(to_source(*parse_expression("a - b - c")), "((a - b) - c)");
+}
+
+TEST(Expr, LiteralAndNesting) {
+  const ExprPtr e = parse_expression("1 + 2 * (3 - x)");
+  EXPECT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->op, dcf::OpCode::kAdd);
+  EXPECT_EQ(e->lhs->literal, 1);
+}
+
+TEST(Parser, MinimalProgram) {
+  const Program p = parse_program(
+      "design tiny { in a; out b; begin b := a; end }");
+  EXPECT_EQ(p.name, "tiny");
+  EXPECT_EQ(p.inputs, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(p.outputs, (std::vector<std::string>{"b"}));
+  ASSERT_EQ(p.body.stmts.size(), 1u);
+  EXPECT_EQ(p.body.stmts[0]->kind, StmtKind::kAssign);
+}
+
+TEST(Parser, FullConstructs) {
+  const Program p = parse_program(R"(design full {
+    in a; out o; var x, y;
+    begin
+      x := a;
+      if x > 3 { y := x; } else { y := 0 - x; }
+      while y != 0 { y := y - 1; }
+      par {
+        branch { x := x + 1; }
+        branch { o := y; }
+      }
+    end
+  })");
+  ASSERT_EQ(p.body.stmts.size(), 4u);
+  EXPECT_EQ(p.body.stmts[1]->kind, StmtKind::kIf);
+  EXPECT_EQ(p.body.stmts[1]->els.stmts.size(), 1u);
+  EXPECT_EQ(p.body.stmts[2]->kind, StmtKind::kWhile);
+  EXPECT_EQ(p.body.stmts[3]->kind, StmtKind::kPar);
+  EXPECT_EQ(p.body.stmts[3]->branches.size(), 2u);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  for (const NamedDesign& design : all_designs()) {
+    const Program p1 = parse_program(design.source);
+    const std::string printed = to_source(p1);
+    const Program p2 = parse_program(printed);
+    EXPECT_EQ(to_source(p2), printed) << design.name;
+  }
+}
+
+TEST(Parser, SemanticErrors) {
+  // duplicate declaration
+  EXPECT_THROW(
+      parse_program("design d { in a; var a; begin a := 1; end }"),
+      ParseError);
+  // assignment to input
+  EXPECT_THROW(
+      parse_program("design d { in a; begin a := 1; end }"), ParseError);
+  // reading an output
+  EXPECT_THROW(
+      parse_program("design d { out o; var x; begin x := o; end }"),
+      ParseError);
+  // undeclared name
+  EXPECT_THROW(
+      parse_program("design d { var x; begin x := zz; end }"), ParseError);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse_program("not a design"), ParseError);
+  EXPECT_THROW(parse_program("design d { begin end"), ParseError);
+  EXPECT_THROW(parse_program("design d { begin x = 1; end }"), ParseError);
+  EXPECT_THROW(parse_program("design d { begin if { } end }"), ParseError);
+  EXPECT_THROW(parse_program("design d { par { } }"), ParseError);
+  EXPECT_THROW(
+      parse_program("design d { var x; begin x := (1; end }"), ParseError);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    parse_program("design d {\n  in a\n  begin end }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("expected"), std::string::npos);
+  }
+}
+
+
+TEST(Parser, ConstDeclarationsSubstitute) {
+  const Program p = parse_program(R"(design c {
+    const K = 10;
+    const NEG = -3;
+    in a; out o; var x;
+    begin
+      x := a + K;
+      o := x * NEG;
+    end
+  })");
+  // Constants never become variables.
+  EXPECT_EQ(p.variables, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(to_source(*p.body.stmts[0]->value), "(a + 10)");
+  EXPECT_EQ(to_source(*p.body.stmts[1]->value), "(x * -3)");
+}
+
+TEST(Parser, ConstErrors) {
+  EXPECT_THROW(parse_program(
+                   "design c { const K = x; begin K := 1; end }"),
+               ParseError);
+  EXPECT_THROW(parse_program(
+                   "design c { const K = 1; var K; begin K := 1; end }"),
+               ParseError);
+}
+
+TEST(Parser, RepeatDesugarsToCountedWhile) {
+  const Program p = parse_program(R"(design r {
+    in a; out o; var x;
+    begin
+      x := a;
+      repeat 3 { x := x + 1; }
+      o := x;
+    end
+  })");
+  // x := a; _repeat_0 := 3; while ...; o := x  -> four statements.
+  ASSERT_EQ(p.body.stmts.size(), 4u);
+  EXPECT_EQ(p.body.stmts[1]->kind, StmtKind::kAssign);
+  EXPECT_EQ(p.body.stmts[1]->target, "_repeat_0");
+  EXPECT_EQ(p.body.stmts[2]->kind, StmtKind::kWhile);
+  // The hidden counter is declared and the printed source re-parses.
+  EXPECT_NE(std::find(p.variables.begin(), p.variables.end(), "_repeat_0"),
+            p.variables.end());
+  const Program round = parse_program(to_source(p));
+  EXPECT_EQ(to_source(round), to_source(p));
+}
+
+TEST(Parser, RepeatWithConstCount) {
+  const Program p = parse_program(R"(design r {
+    const N = 2;
+    in a; out o; var x;
+    begin
+      x := a;
+      repeat N { x := x * 2; }
+      o := x;
+    end
+  })");
+  EXPECT_EQ(p.body.stmts[1]->value->literal, 2);
+}
+
+TEST(Parser, MuxExpression) {
+  EXPECT_EQ(to_source(*parse_expression("mux(a > b, a, b)")),
+            "mux((a > b), a, b)");
+  // Round-trips through the printer.
+  const Program p = parse_program(R"(design m {
+    in a, b; out o;
+    begin
+      o := mux(a > b, a, b) + 1;
+    end
+  })");
+  const Program round = parse_program(to_source(p));
+  EXPECT_EQ(to_source(round), to_source(p));
+  // Arity errors are parse errors.
+  EXPECT_THROW(parse_expression("mux(a, b)"), ParseError);
+}
+
+TEST(Parser, RepeatErrors) {
+  EXPECT_THROW(parse_program(
+                   "design r { var x; begin repeat x { x := 1; } end }"),
+               ParseError);
+}
+
+TEST(Designs, AllParse) {
+  const auto designs = all_designs();
+  EXPECT_EQ(designs.size(), 6u);
+  for (const NamedDesign& d : designs) {
+    EXPECT_NO_THROW(parse_program(d.source)) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace camad::synth

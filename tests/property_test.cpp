@@ -1,0 +1,134 @@
+// Property-based sweeps over randomly generated designs.
+//
+// The generators live in bench/workloads.* and are reused here: random
+// BDL programs exercise the whole stack (parse -> compile -> check ->
+// transform -> simulate -> compare) with seeds as the parameter space.
+#include <gtest/gtest.h>
+
+#include "dcf/check.h"
+#include "dcf/io.h"
+#include "semantics/equivalence.h"
+#include "sim/simulator.h"
+#include "synth/compile.h"
+#include "transform/chain.h"
+#include "transform/merge.h"
+#include "transform/parallelize.h"
+#include "transform/regshare.h"
+#include "workloads.h"
+
+namespace camad {
+namespace {
+
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  dcf::System compile() const {
+    bench::RandomProgramOptions options;
+    options.straight_line_ops = 10;
+    options.variables = 5;
+    options.loops = 1;
+    options.branches = 1;
+    return synth::compile_source(bench::random_program(GetParam(), options));
+  }
+  semantics::DifferentialOptions diff() const {
+    semantics::DifferentialOptions d;
+    d.environments = 3;
+    d.value_lo = 1;
+    d.value_hi = 20;
+    return d;
+  }
+};
+
+TEST_P(RandomPrograms, CompileYieldsProperDesign) {
+  const dcf::System sys = compile();
+  dcf::CheckOptions reachable;
+  reachable.use_reachable_concurrency = true;
+  const dcf::CheckReport report =
+      dcf::check_properly_designed(sys, reachable);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(RandomPrograms, SimulationTerminatesCleanly) {
+  const dcf::System sys = compile();
+  sim::Environment env = sim::Environment::random_for(sys, 3, 64, 1, 20);
+  const sim::SimResult result = sim::simulate(sys, env);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST_P(RandomPrograms, ParallelizePreservesSemantics) {
+  const dcf::System sys = compile();
+  const dcf::System par = transform::parallelize(sys);
+  const auto verdict = semantics::differential_equivalence(sys, par, diff());
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+  const auto invariant = semantics::check_data_invariant(sys, par);
+  EXPECT_TRUE(invariant.holds) << invariant.why;
+}
+
+TEST_P(RandomPrograms, MergePreservesSemantics) {
+  const dcf::System sys = compile();
+  const dcf::System merged = transform::merge_all(sys);
+  const auto verdict =
+      semantics::differential_equivalence(sys, merged, diff());
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST_P(RandomPrograms, RegSharePreservesSemantics) {
+  const dcf::System sys = compile();
+  const dcf::System shared = transform::share_registers(sys);
+  const auto verdict =
+      semantics::differential_equivalence(sys, shared, diff());
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST_P(RandomPrograms, ChainPreservesSemantics) {
+  const dcf::System sys = compile();
+  const dcf::System chained = transform::chain_states(sys);
+  const auto verdict =
+      semantics::differential_equivalence(sys, chained, diff());
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST_P(RandomPrograms, StackedTransformationsPreserveSemantics) {
+  // merge -> regshare -> parallelize, the full optimization stack.
+  const dcf::System sys = compile();
+  const dcf::System merged = transform::merge_all(sys);
+  const dcf::System shared = transform::share_registers(merged);
+  const dcf::System par = transform::parallelize(shared);
+  const auto verdict = semantics::differential_equivalence(sys, par, diff());
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST_P(RandomPrograms, IoRoundTripIsStable) {
+  const dcf::System sys = compile();
+  const std::string text = dcf::save_system(sys);
+  const dcf::System loaded = dcf::load_system(text);
+  EXPECT_EQ(dcf::save_system(loaded), text);
+  const auto verdict =
+      semantics::differential_equivalence(sys, loaded, diff());
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST_P(RandomPrograms, FiringPoliciesConfluent) {
+  const dcf::System par = transform::parallelize(compile());
+  auto events = [&](sim::FiringPolicy policy, std::uint64_t seed) {
+    sim::Environment env = sim::Environment::random_for(par, 9, 64, 1, 20);
+    sim::SimOptions options;
+    options.policy = policy;
+    options.seed = seed;
+    const sim::SimResult r = sim::simulate(par, env, options);
+    return semantics::EventStructure::extract(par, r.trace);
+  };
+  const auto reference = events(sim::FiringPolicy::kMaximalStep, 1);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::string why;
+    EXPECT_TRUE(events(sim::FiringPolicy::kSingleRandom, seed)
+                    .equivalent(reference, &why))
+        << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace camad

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "dcf/builder.h"
+#include "fixtures.h"
+#include "semantics/dependence.h"
+#include "semantics/equivalence.h"
+#include "semantics/events.h"
+#include "transform/parallelize.h"
+#include "sim/simulator.h"
+
+namespace camad::semantics {
+namespace {
+
+using dcf::Value;
+using petri::PlaceId;
+
+PlaceId state_by_name(const dcf::System& sys, const std::string& name) {
+  for (PlaceId p : sys.control().net().places()) {
+    if (sys.control().net().name(p) == name) return p;
+  }
+  ADD_FAILURE() << "no state " << name;
+  return PlaceId();
+}
+
+EventStructure run_and_extract(const dcf::System& sys, std::uint64_t seed) {
+  sim::Environment env = sim::Environment::random_for(sys, seed, 32);
+  const sim::SimResult result = sim::simulate(sys, env);
+  return EventStructure::extract(sys, result.trace);
+}
+
+TEST(EventStructure, DoublerEventsAndOrder) {
+  const dcf::System sys = test::make_doubler();
+  sim::Environment env;
+  env.set_stream(sys.datapath().find_vertex("x"), {21});
+  const sim::SimResult result = sim::simulate(sys, env);
+  const EventStructure s = EventStructure::extract(sys, result.trace);
+
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.events()[0].channel, "x");
+  EXPECT_EQ(s.events()[0].occurrence, 0u);
+  EXPECT_EQ(s.events()[1].channel, "y");
+  EXPECT_EQ(s.events()[1].value, Value(42));
+  // x read at S0 precedes y written at S2 (S0 => S2).
+  EXPECT_TRUE(s.precedes(0, 1));
+  EXPECT_FALSE(s.precedes(1, 0));
+  EXPECT_FALSE(s.concurrent(0, 1));
+  EXPECT_EQ(s.channels(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(EventStructure, SameStateEventsAreConcurrent) {
+  const dcf::System sys = test::make_two_lane();
+  sim::Environment env;
+  env.set_stream(sys.datapath().find_vertex("x"), {1});
+  env.set_stream(sys.datapath().find_vertex("y"), {2});
+  const sim::SimResult result = sim::simulate(sys, env);
+  const EventStructure s = EventStructure::extract(sys, result.trace);
+  // Events 0 and 1 are the S0 reads of x and y: same state, same cycle.
+  ASSERT_GE(s.size(), 2u);
+  EXPECT_TRUE(s.concurrent(0, 1));
+  EXPECT_FALSE(s.precedes(0, 1));
+}
+
+TEST(EventStructure, EquivalentToItself) {
+  const dcf::System sys = test::make_gcd();
+  const EventStructure a = run_and_extract(sys, 3);
+  const EventStructure b = run_and_extract(sys, 3);
+  std::string why;
+  EXPECT_TRUE(a.equivalent(b, &why)) << why;
+}
+
+TEST(EventStructure, DetectsValueDifference) {
+  const dcf::System sys = test::make_gcd();
+  const EventStructure a = run_and_extract(sys, 3);
+  const EventStructure b = run_and_extract(sys, 4);
+  std::string why;
+  EXPECT_FALSE(a.equivalent(b, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(EventStructure, ToStringDescribes) {
+  const dcf::System sys = test::make_doubler();
+  const EventStructure s = run_and_extract(sys, 1);
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("x[0]"), std::string::npos);
+  EXPECT_NE(text.find("precedent pairs"), std::string::npos);
+}
+
+TEST(Dependence, TwoLaneClauses) {
+  const dcf::System sys = test::make_two_lane();
+  const DependenceRelation dep(sys);
+  const PlaceId s0 = state_by_name(sys, "S0");
+  const PlaceId s1 = state_by_name(sys, "S1");
+  const PlaceId s2 = state_by_name(sys, "S2");
+  const PlaceId s3 = state_by_name(sys, "S3");
+  const PlaceId s4 = state_by_name(sys, "S4");
+
+  EXPECT_TRUE(dep.direct(s0, s1));   // r1 written by S0, read by S1
+  EXPECT_TRUE(dep.direct(s0, s2));   // r2
+  EXPECT_TRUE(dep.direct(s1, s3));   // r3
+  EXPECT_TRUE(dep.direct(s2, s4));   // r4
+  EXPECT_FALSE(dep.direct(s1, s2));  // independent lanes
+  EXPECT_FALSE(dep.direct(s1, s4));
+  EXPECT_FALSE(dep.direct(s2, s3));
+  EXPECT_TRUE(dep.direct(s3, s4));   // clause (e): both external
+  EXPECT_TRUE(dep.direct(s0, s3));   // clause (e) again
+  // Symmetry.
+  EXPECT_TRUE(dep.direct(s1, s0));
+}
+
+TEST(Dependence, TransitiveClosureMergesComponents) {
+  const dcf::System sys = test::make_two_lane();
+  const DependenceRelation dep(sys);
+  const PlaceId s1 = state_by_name(sys, "S1");
+  const PlaceId s2 = state_by_name(sys, "S2");
+  // Not directly dependent, but connected through S0 (and the external
+  // clique): the literal Def 4.4 closure relates them.
+  EXPECT_FALSE(dep.direct(s1, s2));
+  EXPECT_TRUE(dep.transitive(s1, s2));
+  EXPECT_FALSE(dep.transitive(s1, s1));
+}
+
+TEST(Dependence, ClauseToggles) {
+  const dcf::System sys = test::make_two_lane();
+  DependenceOptions options;
+  options.clause_e = false;
+  const DependenceRelation dep(sys, options);
+  const PlaceId s3 = state_by_name(sys, "S3");
+  const PlaceId s4 = state_by_name(sys, "S4");
+  // Without clause (e) the two output states are unrelated.
+  EXPECT_FALSE(dep.direct(s3, s4));
+}
+
+TEST(Dependence, ControlDependenceThroughGuards) {
+  const dcf::System sys = test::make_gcd();
+  const PlaceId s_test = state_by_name(sys, "Stest");
+  const PlaceId s_sub_a = state_by_name(sys, "SsubA");
+  const PlaceId s_load = state_by_name(sys, "Sload");
+
+  DependenceOptions only_d;
+  only_d.clause_a = only_d.clause_b = only_d.clause_c = only_d.clause_e =
+      false;
+  const DependenceRelation dep(sys, only_d);
+  // The guards of Stest's outgoing transitions read cmp ports whose
+  // sequential support is {ra, rb} ⊆ R(Sload) ∪ R(SsubA)...
+  EXPECT_TRUE(dep.direct(s_test, s_load));
+  EXPECT_TRUE(dep.direct(s_test, s_sub_a));
+}
+
+TEST(DataInvariant, SystemEquivalentToItself) {
+  const dcf::System sys = test::make_gcd();
+  const EquivalenceVerdict verdict = check_data_invariant(sys, sys);
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST(DataInvariant, DetectsLostOrder) {
+  // Build two versions of the doubler: S1 and S2 swapped in the second.
+  // S1 writes r2 (read by S2's output move), so they are dependent and
+  // the swap must be flagged.
+  const dcf::System a = test::make_doubler();
+
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.output("y");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto add = b.unit("add", dcf::OpCode::kAdd);
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  b.connect(x, r1, 0, {s0});
+  b.arc(b.out(r1), b.in(add, 0), {s1});
+  b.arc(b.out(r1), b.in(add, 1), {s1});
+  b.arc(b.out(add), b.in(r2), {s1});
+  b.connect(r2, y, 0, {s2});
+  // Control visits S2 *before* S1.
+  b.chain(s0, s2, "T0");
+  b.chain(s2, s1, "T1");
+  const auto t_end = b.transition("Tend");
+  b.flow(s1, t_end);
+  const dcf::System swapped = b.build("doubler");
+
+  const EquivalenceVerdict verdict = check_data_invariant(a, swapped);
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_FALSE(verdict.why.empty());
+}
+
+TEST(DataInvariant, StrictTransitiveModeIsStronger) {
+  // two_lane parallelized: fine under the direct reading, but the literal
+  // Def 4.4 closure relates S1/S2 through their shared neighbours, so the
+  // strict check must reject the reordering the transformation performed.
+  const dcf::System serial = test::make_two_lane();
+  const dcf::System par = transform::parallelize(serial);
+
+  DataInvariantOptions direct;
+  EXPECT_TRUE(check_data_invariant(serial, par, direct).holds);
+
+  DataInvariantOptions strict;
+  strict.strict_transitive = true;
+  const EquivalenceVerdict verdict = check_data_invariant(serial, par, strict);
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_FALSE(verdict.why.empty());
+}
+
+TEST(DataInvariant, RequiresIdenticalDatapaths) {
+  const dcf::System a = test::make_doubler();
+  const dcf::System b = test::make_two_lane();
+  const EquivalenceVerdict verdict = check_data_invariant(a, b);
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_NE(verdict.why.find("data paths"), std::string::npos);
+}
+
+TEST(Differential, IdenticalSystemsAgree) {
+  const dcf::System sys = test::make_gcd();
+  DifferentialOptions options;
+  options.environments = 4;
+  options.value_lo = 1;  // gcd(0, n) loops forever on subtraction
+  options.value_hi = 60;
+  const EquivalenceVerdict verdict =
+      differential_equivalence(sys, sys, options);
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST(Differential, CatchesBehavioralDifference) {
+  // Doubler vs "tripler": same interface, different computation.
+  const dcf::System a = test::make_doubler();
+
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.output("y");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto add = b.unit("add", dcf::OpCode::kMul);  // note: mul
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  b.connect(x, r1, 0, {s0});
+  b.arc(b.out(r1), b.in(add, 0), {s1});
+  b.arc(b.out(r1), b.in(add, 1), {s1});
+  b.arc(b.out(add), b.in(r2), {s1});
+  b.connect(r2, y, 0, {s2});
+  b.chain(s0, s1, "T0");
+  b.chain(s1, s2, "T1");
+  const auto t_end = b.transition("Tend");
+  b.flow(s2, t_end);
+  const dcf::System tripler = b.build("doubler");
+
+  DifferentialOptions options;
+  options.environments = 2;
+  options.value_lo = 3;  // 2*x != x*x away from 0 and 2
+  options.value_hi = 50;
+  const EquivalenceVerdict verdict =
+      differential_equivalence(a, tripler, options);
+  EXPECT_FALSE(verdict.holds);
+}
+
+TEST(Datapaths, IdenticalOnCopies) {
+  const dcf::System sys = test::make_gcd();
+  EXPECT_TRUE(datapaths_identical(sys.datapath(), sys.datapath()));
+  const dcf::System other = test::make_doubler();
+  EXPECT_FALSE(datapaths_identical(sys.datapath(), other.datapath()));
+}
+
+}  // namespace
+}  // namespace camad::semantics

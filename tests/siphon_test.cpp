@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "petri/siphons.h"
+#include "synth/compile.h"
+#include "synth/designs.h"
+
+namespace camad::petri {
+namespace {
+
+/// Two-place ring with a token: {p0, p1} is both a siphon and a trap.
+Net ring2(std::uint32_t tokens) {
+  Net net;
+  const PlaceId p0 = net.add_place("p0");
+  const PlaceId p1 = net.add_place("p1");
+  const TransitionId t0 = net.add_transition();
+  const TransitionId t1 = net.add_transition();
+  net.connect(p0, t0);
+  net.connect(t0, p1);
+  net.connect(p1, t1);
+  net.connect(t1, p0);
+  net.set_initial_tokens(p0, tokens);
+  return net;
+}
+
+TEST(Siphons, RingIsSiphonAndTrap) {
+  const Net net = ring2(1);
+  const std::vector<PlaceId> all{PlaceId(0), PlaceId(1)};
+  EXPECT_TRUE(is_siphon(net, all));
+  EXPECT_TRUE(is_trap(net, all));
+  EXPECT_FALSE(is_siphon(net, {PlaceId(0)}));  // p0's producer takes from p1
+  EXPECT_FALSE(is_siphon(net, {}));
+}
+
+TEST(Siphons, GreatestWithinPrunesCorrectly) {
+  const Net net = ring2(1);
+  // Within {p0} alone nothing survives; within both, both survive.
+  EXPECT_TRUE(greatest_siphon_within(net, {PlaceId(0)}).empty());
+  EXPECT_EQ(greatest_siphon_within(net, {PlaceId(0), PlaceId(1)}).size(),
+            2u);
+  EXPECT_EQ(greatest_trap_within(net, {PlaceId(0), PlaceId(1)}).size(), 2u);
+}
+
+TEST(Siphons, TokenFreeRingRaisesAlarm) {
+  const Net net = ring2(0);
+  const SiphonAlarm alarm = check_unmarked_siphons(net);
+  EXPECT_FALSE(alarm.clean());
+  EXPECT_EQ(alarm.unmarked_siphon.size(), 2u);
+}
+
+TEST(Siphons, MarkedRingIsClean) {
+  const Net net = ring2(1);
+  EXPECT_TRUE(check_unmarked_siphons(net).clean());
+}
+
+TEST(Siphons, DeadSideLoopIsDetected) {
+  // A live main chain plus a token-free side loop that can never start.
+  Net net;
+  const PlaceId main0 = net.add_place("m0");
+  const PlaceId main1 = net.add_place("m1");
+  const TransitionId t = net.add_transition();
+  net.connect(main0, t);
+  net.connect(t, main1);
+  net.set_initial_tokens(main0, 1);
+  const PlaceId loop0 = net.add_place("l0");
+  const PlaceId loop1 = net.add_place("l1");
+  const TransitionId u0 = net.add_transition();
+  const TransitionId u1 = net.add_transition();
+  net.connect(loop0, u0);
+  net.connect(u0, loop1);
+  net.connect(loop1, u1);
+  net.connect(u1, loop0);
+
+  const SiphonAlarm alarm = check_unmarked_siphons(net);
+  ASSERT_EQ(alarm.unmarked_siphon.size(), 2u);
+  EXPECT_EQ(net.name(alarm.unmarked_siphon[0]), "l0");
+  EXPECT_EQ(net.name(alarm.unmarked_siphon[1]), "l1");
+}
+
+TEST(Siphons, CompiledDesignsAreClean) {
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    const dcf::System sys = synth::compile_source(std::string(d.source));
+    EXPECT_TRUE(check_unmarked_siphons(sys.control().net()).clean())
+        << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace camad::petri

@@ -1,0 +1,180 @@
+// Tests for timed marked-graph analysis and constant folding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "petri/timed.h"
+#include "synth/ast.h"
+#include "synth/compile.h"
+#include "synth/fold.h"
+#include "synth/parser.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace camad {
+namespace {
+
+using petri::Net;
+using petri::PlaceId;
+using petri::TransitionId;
+
+/// Ring of k transitions with unit places; `tokens` on the first place.
+Net ring(std::size_t k, std::uint32_t tokens) {
+  Net net;
+  std::vector<TransitionId> ts;
+  for (std::size_t i = 0; i < k; ++i) ts.push_back(net.add_transition());
+  for (std::size_t i = 0; i < k; ++i) {
+    const PlaceId p = net.add_place();
+    net.connect(ts[i], p);
+    net.connect(p, ts[(i + 1) % k]);
+    if (i == 0) net.set_initial_tokens(p, tokens);
+  }
+  return net;
+}
+
+TEST(Timed, SingleTokenRingCycleTimeIsTotalDelay) {
+  const Net net = ring(3, 1);
+  const auto result =
+      petri::marked_graph_cycle_time(net, {2.0, 3.0, 5.0});
+  EXPECT_TRUE(result.live);
+  EXPECT_NEAR(result.min_cycle_time, 10.0, 1e-6);
+}
+
+TEST(Timed, MoreTokensMeanMoreThroughput) {
+  // Two tokens in the ring halve the period (pipelining).
+  const Net net = ring(4, 2);
+  const auto result =
+      petri::marked_graph_cycle_time(net, {1.0, 1.0, 1.0, 1.0});
+  EXPECT_TRUE(result.live);
+  EXPECT_NEAR(result.min_cycle_time, 2.0, 1e-6);
+}
+
+TEST(Timed, MaxRatioCycleDominates) {
+  // Two rings sharing a transition: the slower ratio wins.
+  Net net;
+  const TransitionId a = net.add_transition();
+  const TransitionId b = net.add_transition();
+  const TransitionId c = net.add_transition();
+  auto link = [&](TransitionId from, TransitionId to, std::uint32_t tokens) {
+    const PlaceId p = net.add_place();
+    net.connect(from, p);
+    net.connect(p, to);
+    net.set_initial_tokens(p, tokens);
+  };
+  link(a, b, 1);
+  link(b, a, 0);  // ring a-b: delay 1+1 = 2, tokens 1 -> ratio 2
+  link(a, c, 1);
+  link(c, a, 1);  // ring a-c: delay 1+7 = 8, tokens 2 -> ratio 4
+  const auto result = petri::marked_graph_cycle_time(net, {1.0, 1.0, 7.0});
+  EXPECT_TRUE(result.live);
+  EXPECT_NEAR(result.min_cycle_time, 4.0, 1e-6);
+}
+
+TEST(Timed, TokenFreeCycleIsDead) {
+  const Net net = ring(2, 0);
+  const auto result = petri::marked_graph_cycle_time(net, {1.0, 1.0});
+  EXPECT_FALSE(result.live);
+  EXPECT_TRUE(std::isinf(result.min_cycle_time));
+}
+
+TEST(Timed, AcyclicPipelineHasZeroPeriod) {
+  Net net;
+  const TransitionId a = net.add_transition();
+  const TransitionId b = net.add_transition();
+  const PlaceId p = net.add_place();
+  net.connect(a, p);
+  net.connect(p, b);
+  const auto result = petri::marked_graph_cycle_time(net, {4.0, 4.0});
+  EXPECT_TRUE(result.live);
+  EXPECT_NEAR(result.min_cycle_time, 0.0, 1e-9);
+}
+
+TEST(Timed, RejectsNonMarkedGraphs) {
+  Net net;
+  const PlaceId p = net.add_place();
+  const TransitionId t0 = net.add_transition();
+  const TransitionId t1 = net.add_transition();
+  net.connect(p, t0);
+  net.connect(p, t1);  // conflict: not a marked graph
+  EXPECT_THROW(petri::marked_graph_cycle_time(net, {1.0, 1.0}), ModelError);
+}
+
+TEST(Fold, LiteralSubtreesCollapse) {
+  synth::ExprPtr e = synth::parse_expression("3 * 4 + a");
+  const synth::ExprPtr folded = synth::fold_expr(*e);
+  EXPECT_EQ(synth::to_source(*folded), "(12 + a)");
+
+  e = synth::parse_expression("(2 + 3) * (10 - 4)");
+  EXPECT_EQ(synth::to_source(*synth::fold_expr(*e)), "30");
+
+  e = synth::parse_expression("-(5) + a");
+  EXPECT_EQ(synth::to_source(*synth::fold_expr(*e)), "(-5 + a)");
+}
+
+TEST(Fold, UndefinedResultsStayUnfolded) {
+  const synth::ExprPtr e = synth::parse_expression("1 / 0");
+  EXPECT_EQ(synth::to_source(*synth::fold_expr(*e)), "(1 / 0)");
+}
+
+TEST(Fold, MuxFoldsOnlyWhenFullyLiteral) {
+  EXPECT_EQ(synth::to_source(*synth::fold_expr(
+                *synth::parse_expression("mux(1, 5, 9)"))),
+            "5");
+  EXPECT_EQ(synth::to_source(*synth::fold_expr(
+                *synth::parse_expression("mux(0, 5, 9)"))),
+            "9");
+  // A non-literal branch blocks the fold: kMux is eager and a ⊥ branch
+  // would poison the result at runtime.
+  EXPECT_EQ(synth::to_source(*synth::fold_expr(
+                *synth::parse_expression("mux(1, a, 9)"))),
+            "mux(1, a, 9)");
+}
+
+TEST(Fold, ProgramFoldReducesSynthesizedHardware) {
+  const char* source = R"(design f {
+    in a; out o; var x;
+    begin
+      x := a * (3 * 4);
+      if x > 2 * 8 { o := x; } else { o := 0 - 1 + x; }
+    end
+  })";
+  synth::Program p1 = synth::parse_program(source);
+  synth::CompileStats unfolded;
+  synth::compile(p1, &unfolded);
+
+  synth::Program p2 = synth::parse_program(source);
+  const std::size_t removed = synth::fold_constants(p2);
+  EXPECT_GE(removed, 3u);
+  synth::CompileStats folded;
+  synth::compile(p2, &folded);
+
+  EXPECT_LT(folded.functional_units, unfolded.functional_units);
+  EXPECT_LT(folded.constants, unfolded.constants);
+}
+
+TEST(Fold, SemanticsPreserved) {
+  const char* source = R"(design f {
+    in a; out o; var x;
+    begin
+      x := a + (6 * 7 - 40);
+      o := x << (1 + 1);
+    end
+  })";
+  synth::Program folded_prog = synth::parse_program(source);
+  synth::fold_constants(folded_prog);
+  // a + 2 then << 2: for a = 3 -> 5 << 2 = 20.
+  const dcf::System folded = synth::compile(folded_prog);
+  const dcf::System plain = synth::compile_source(source);
+  auto out_value = [](const dcf::System& sys) {
+    sim::Environment env;
+    env.set_stream(sys.datapath().find_vertex("a"), {3});
+    const sim::SimResult r = sim::simulate(sys, env);
+    return r.trace.events().back().value;
+  };
+  EXPECT_EQ(out_value(folded), out_value(plain));
+  EXPECT_EQ(out_value(folded), dcf::Value(20));
+}
+
+}  // namespace
+}  // namespace camad

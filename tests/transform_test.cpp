@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "dcf/builder.h"
+#include "dcf/check.h"
+#include "fixtures.h"
+#include "semantics/equivalence.h"
+#include "sim/simulator.h"
+#include "transform/merge.h"
+#include "transform/parallelize.h"
+#include "util/error.h"
+
+namespace camad::transform {
+namespace {
+
+using dcf::OpCode;
+using dcf::Value;
+using semantics::EquivalenceVerdict;
+
+/// Serial design with two adders used in sequential states — the
+/// textbook merger candidate from the paper ("two addition operations
+/// can be implemented with the same adder").
+dcf::System make_two_adders() {
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto o = b.output("o");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto r3 = b.reg("r3");
+  const auto add1 = b.unit("add1", OpCode::kAdd);
+  const auto add2 = b.unit("add2", OpCode::kAdd);
+
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  const auto s3 = b.state("S3");
+  b.connect(x, r1, 0, {s0});
+  b.connect(y, r2, 0, {s0});
+  // S1: r3 := r1 + r2 (via add1)
+  b.arc(b.out(r1), b.in(add1, 0), {s1});
+  b.arc(b.out(r2), b.in(add1, 1), {s1});
+  b.arc(b.out(add1), b.in(r3), {s1});
+  // S2: r3 := r3 + r2 (via add2)
+  b.arc(b.out(r3), b.in(add2, 0), {s2});
+  b.arc(b.out(r2), b.in(add2, 1), {s2});
+  b.arc(b.out(add2), b.in(r3), {s2});
+  // S3: o := r3
+  b.connect(r3, o, 0, {s3});
+  b.chain(s0, s1, "T0");
+  b.chain(s1, s2, "T1");
+  b.chain(s2, s3, "T2");
+  const auto t_end = b.transition("Tend");
+  b.flow(s3, t_end);
+  return b.build("two_adders");
+}
+
+TEST(Merge, LegalPairDetected) {
+  const dcf::System sys = make_two_adders();
+  const auto add1 = sys.datapath().find_vertex("add1");
+  const auto add2 = sys.datapath().find_vertex("add2");
+  const MergeCheck check = can_merge(sys, add2, add1);
+  EXPECT_TRUE(check.legal) << check.why;
+  const auto pairs = mergeable_pairs(sys);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(add2, add1));
+}
+
+TEST(Merge, PreservesBehaviour) {
+  const dcf::System sys = make_two_adders();
+  const auto add1 = sys.datapath().find_vertex("add1");
+  const auto add2 = sys.datapath().find_vertex("add2");
+  const dcf::System merged = merge_vertices(sys, add2, add1);
+
+  EXPECT_EQ(merged.datapath().vertex_count(),
+            sys.datapath().vertex_count() - 1);
+  EXPECT_EQ(merged.datapath().arc_count(), sys.datapath().arc_count());
+  EXPECT_FALSE(merged.datapath().find_vertex("add2").valid());
+
+  semantics::DifferentialOptions options;
+  options.environments = 6;
+  const EquivalenceVerdict verdict =
+      semantics::differential_equivalence(sys, merged, options);
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST(Merge, MergedSystemStillProperlyDesigned) {
+  const dcf::System sys = make_two_adders();
+  const dcf::System merged = merge_all(sys);
+  const dcf::CheckReport report = dcf::check_properly_designed(merged);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Merge, RejectsDifferentOps) {
+  const dcf::System sys = test::make_two_lane();
+  const auto add = sys.datapath().find_vertex("add");
+  const auto mul = sys.datapath().find_vertex("mul");
+  const MergeCheck check = can_merge(sys, add, mul);
+  EXPECT_FALSE(check.legal);
+  EXPECT_NE(check.why.find("operational definitions"), std::string::npos);
+}
+
+TEST(Merge, RejectsRegisters) {
+  const dcf::System sys = make_two_adders();
+  const auto r1 = sys.datapath().find_vertex("r1");
+  const auto r2 = sys.datapath().find_vertex("r2");
+  const MergeCheck check = can_merge(sys, r1, r2);
+  EXPECT_FALSE(check.legal);
+  EXPECT_NE(check.why.find("sequential"), std::string::npos);
+}
+
+TEST(Merge, RejectsExternalVertices) {
+  const dcf::System sys = test::make_two_lane();
+  const auto x = sys.datapath().find_vertex("x");
+  const auto y = sys.datapath().find_vertex("y");
+  EXPECT_FALSE(can_merge(sys, x, y).legal);
+}
+
+TEST(Merge, RejectsSameStateUse) {
+  // One state drives both adders: cannot share one unit.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto a1 = b.unit("a1", OpCode::kAdd);
+  const auto a2 = b.unit("a2", OpCode::kAdd);
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  b.connect(x, r1, 0, {s0});
+  b.arc(b.out(r1), b.in(a1, 0), {s1});
+  b.arc(b.out(r1), b.in(a1, 1), {s1});
+  b.arc(b.out(a1), b.in(r1), {s1});
+  b.arc(b.out(r1), b.in(a2, 0), {s1});
+  b.arc(b.out(r1), b.in(a2, 1), {s1});
+  b.arc(b.out(a2), b.in(r2), {s1});
+  b.chain(s0, s1);
+  const auto t = b.transition();
+  b.flow(s1, t);
+  const dcf::System sys = b.build();
+  const MergeCheck check =
+      can_merge(sys, sys.datapath().find_vertex("a1"),
+                sys.datapath().find_vertex("a2"));
+  EXPECT_FALSE(check.legal);
+  EXPECT_NE(check.why.find("simultaneously"), std::string::npos);
+}
+
+TEST(Merge, RejectsParallelStates) {
+  // Two adders used in parallel branches of a fork: not sequential.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto a1 = b.unit("a1", OpCode::kAdd);
+  const auto a2 = b.unit("a2", OpCode::kAdd);
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  b.connect(x, r1, 0, {s0});
+  b.arc(b.out(r1), b.in(a1, 0), {s1});
+  b.arc(b.out(r1), b.in(a1, 1), {s1});
+  b.arc(b.out(a1), b.in(r1), {s1});
+  b.arc(b.out(r1), b.in(a2, 0), {s2});
+  b.arc(b.out(r1), b.in(a2, 1), {s2});
+  b.arc(b.out(a2), b.in(r2), {s2});
+  const auto fork = b.transition("fork");
+  b.flow(s0, fork);
+  b.flow(fork, s1);
+  b.flow(fork, s2);
+  const dcf::System sys = b.build();
+  const MergeCheck check =
+      can_merge(sys, sys.datapath().find_vertex("a1"),
+                sys.datapath().find_vertex("a2"));
+  EXPECT_FALSE(check.legal);
+  EXPECT_NE(check.why.find("sequential order"), std::string::npos);
+}
+
+TEST(Merge, ThrowsOnIllegalMerge) {
+  const dcf::System sys = test::make_two_lane();
+  EXPECT_THROW(merge_vertices(sys, sys.datapath().find_vertex("add"),
+                              sys.datapath().find_vertex("mul")),
+               camad::TransformError);
+}
+
+TEST(Merge, MultiOutputComparatorsMerge) {
+  // Two comparator vertices with identical 4-predicate port layouts used
+  // in sequential states: Def 4.6 merges them whole.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto f1 = b.reg("f1");
+  const auto f2 = b.reg("f2");
+
+  auto make_cmp = [&](const std::string& name) {
+    const auto v = b.datapath().add_vertex(name);
+    b.datapath().add_input_port(v);
+    b.datapath().add_input_port(v);
+    b.datapath().add_output_port(v, dcf::Operation{dcf::OpCode::kLt, 0});
+    b.datapath().add_output_port(v, dcf::Operation{dcf::OpCode::kGe, 0});
+    return v;
+  };
+  const auto cmp1 = make_cmp("cmp1");
+  const auto cmp2 = make_cmp("cmp2");
+
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  b.connect(x, r1, 0, {s0});
+  b.arc(b.out(x), b.in(r2), {s0});
+  b.arc(b.out(r1), b.in(cmp1, 0), {s1});
+  b.arc(b.out(r2), b.in(cmp1, 1), {s1});
+  b.arc(b.out(cmp1, 0), b.in(f1), {s1});
+  b.arc(b.out(r2), b.in(cmp2, 0), {s2});
+  b.arc(b.out(r1), b.in(cmp2, 1), {s2});
+  b.arc(b.out(cmp2, 1), b.in(f2), {s2});
+  b.chain(s0, s1);
+  b.chain(s1, s2);
+  const auto t_end = b.transition();
+  b.flow(s2, t_end);
+  const dcf::System sys = b.build("cmps");
+
+  const MergeCheck check = can_merge(sys, cmp2, cmp1);
+  ASSERT_TRUE(check.legal) << check.why;
+  const dcf::System merged = merge_vertices(sys, cmp2, cmp1);
+  EXPECT_FALSE(merged.datapath().find_vertex("cmp2").valid());
+
+  const auto verdict = semantics::differential_equivalence(sys, merged);
+  EXPECT_TRUE(verdict.holds) << verdict.why;
+}
+
+TEST(Parallelize, TwoLaneGainsParallelism) {
+  const dcf::System sys = test::make_two_lane();
+  ParallelizeStats stats;
+  const dcf::System par = parallelize(sys, {}, &stats);
+
+  EXPECT_GE(stats.segments_found, 1u);
+  EXPECT_EQ(stats.segments_transformed, 1u);
+  EXPECT_EQ(stats.states_in_segments, 4u);  // S1..S4
+
+  // Simulate both; parallel version must be strictly faster.
+  auto cycles = [](const dcf::System& s) {
+    sim::Environment env;
+    env.set_stream(s.datapath().find_vertex("x"), {5});
+    env.set_stream(s.datapath().find_vertex("y"), {7});
+    const sim::SimResult r = sim::simulate(s, env);
+    EXPECT_TRUE(r.terminated);
+    EXPECT_TRUE(r.violations.empty());
+    return r.cycles;
+  };
+  const auto serial_cycles = cycles(sys);
+  const auto parallel_cycles = cycles(par);
+  EXPECT_LT(parallel_cycles, serial_cycles);
+
+  // Data-invariant (Def 4.5) and behaviourally equivalent.
+  const EquivalenceVerdict di = semantics::check_data_invariant(sys, par);
+  EXPECT_TRUE(di.holds) << di.why;
+  const EquivalenceVerdict diff =
+      semantics::differential_equivalence(sys, par);
+  EXPECT_TRUE(diff.holds) << diff.why;
+
+  // Still properly designed.
+  const dcf::CheckReport report = dcf::check_properly_designed(par);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Parallelize, GcdIsAlreadyMaximal) {
+  // Every linear segment in the GCD loop is a single state; nothing to do.
+  const dcf::System sys = test::make_gcd();
+  ParallelizeStats stats;
+  const dcf::System par = parallelize(sys, {}, &stats);
+  EXPECT_EQ(stats.segments_transformed, 0u);
+  EXPECT_EQ(par.control().net().place_count(),
+            sys.control().net().place_count());
+  EXPECT_EQ(par.control().net().transition_count(),
+            sys.control().net().transition_count());
+}
+
+TEST(Parallelize, StrictTransitiveFreezesComponents) {
+  const dcf::System sys = test::make_two_lane();
+  ParallelizeOptions options;
+  options.strict_transitive = true;
+  ParallelizeStats stats;
+  parallelize(sys, options, &stats);
+  // Everything is one dependence component: fully serial, no transform.
+  EXPECT_EQ(stats.segments_transformed, 0u);
+}
+
+TEST(Parallelize, ResourceConflictsKeepOrder) {
+  // Like two_lane but both lanes share one adder: conflict forces the
+  // states apart even though data-independent.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto o1 = b.output("o1");
+  const auto o2 = b.output("o2");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto r3 = b.reg("r3");
+  const auto r4 = b.reg("r4");
+  const auto add = b.unit("add", OpCode::kAdd);
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  const auto s3 = b.state("S3");
+  const auto s4 = b.state("S4");
+  b.connect(x, r1, 0, {s0});
+  b.connect(y, r2, 0, {s0});
+  b.arc(b.out(r1), b.in(add, 0), {s1});
+  b.arc(b.out(r1), b.in(add, 1), {s1});
+  b.arc(b.out(add), b.in(r3), {s1});
+  b.arc(b.out(r2), b.in(add, 0), {s2});
+  b.arc(b.out(r2), b.in(add, 1), {s2});
+  b.arc(b.out(add), b.in(r4), {s2});
+  b.connect(r3, o1, 0, {s3});
+  b.connect(r4, o2, 0, {s4});
+  b.chain(s0, s1, "T0");
+  b.chain(s1, s2, "T1");
+  b.chain(s2, s3, "T2");
+  b.chain(s3, s4, "T3");
+  const auto t_end = b.transition("Tend");
+  b.flow(s4, t_end);
+  const dcf::System sys = b.build("shared_adder");
+
+  ParallelizeStats stats;
+  const dcf::System par = parallelize(sys, {}, &stats);
+  // S1 and S2 share the adder: they stay ordered; S3/S4 stay ordered by
+  // clause (e). The segment may still transform (reduction changes), but
+  // simulation must agree and stay conflict-free.
+  const EquivalenceVerdict diff =
+      semantics::differential_equivalence(sys, par);
+  EXPECT_TRUE(diff.holds) << diff.why;
+  const dcf::CheckReport report = dcf::check_properly_designed(par);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Parallelize, PoliciesStillAgreeAfterTransform) {
+  const dcf::System par = parallelize(test::make_two_lane());
+  auto run = [&](sim::FiringPolicy policy, std::uint64_t seed) {
+    sim::Environment env;
+    env.set_stream(par.datapath().find_vertex("x"), {5});
+    env.set_stream(par.datapath().find_vertex("y"), {7});
+    sim::SimOptions options;
+    options.policy = policy;
+    options.seed = seed;
+    const sim::SimResult r = sim::simulate(par, env, options);
+    EXPECT_TRUE(r.terminated);
+    std::vector<Value> values;
+    for (const auto& e : r.trace.events()) values.push_back(e.value);
+    return values;
+  };
+  const auto expected = run(sim::FiringPolicy::kMaximalStep, 1);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    EXPECT_EQ(run(sim::FiringPolicy::kSingleRandom, seed), expected);
+  }
+}
+
+TEST(Parallelize, MergeThenParallelizeKeepsSharedUnitSerial) {
+  // End-to-end cost/perf interplay: merge the two adders of two_adders,
+  // then parallelize — the shared adder must keep its users ordered.
+  const dcf::System merged = merge_all(make_two_adders());
+  const dcf::System par = parallelize(merged);
+  const EquivalenceVerdict diff =
+      semantics::differential_equivalence(merged, par);
+  EXPECT_TRUE(diff.holds) << diff.why;
+  const dcf::CheckReport report = dcf::check_properly_designed(par);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace camad::transform

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/bitset.h"
+#include "util/dot.h"
+#include "util/error.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace camad {
+namespace {
+
+struct FooTag;
+struct BarTag;
+using FooId = StrongId<FooTag>;
+using BarId = StrongId<BarTag>;
+
+TEST(StrongId, DefaultIsInvalid) {
+  FooId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_FALSE(static_cast<bool>(id));
+  EXPECT_EQ(id, FooId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  FooId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(FooId(1), FooId(2));
+  EXPECT_EQ(FooId(3), FooId(3));
+  EXPECT_NE(FooId(3), FooId(4));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<FooId, BarId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<FooId> set;
+  set.insert(FooId(1));
+  set.insert(FooId(1));
+  set.insert(FooId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, Streaming) {
+  std::ostringstream os;
+  os << FooId(5) << ' ' << FooId();
+  EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+class BitsetSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetSizes, SetTestResetAcrossWordBoundaries) {
+  const std::size_t n = GetParam();
+  DynamicBitset bits(n);
+  EXPECT_EQ(bits.size(), n);
+  EXPECT_EQ(bits.count(), 0u);
+  for (std::size_t i = 0; i < n; i += 3) bits.set(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bits.test(i), i % 3 == 0) << i;
+  }
+  EXPECT_EQ(bits.count(), (n + 2) / 3);
+  for (std::size_t i = 0; i < n; i += 3) bits.reset(i);
+  EXPECT_TRUE(bits.none());
+}
+
+TEST_P(BitsetSizes, SetAllRespectsSize) {
+  const std::size_t n = GetParam();
+  DynamicBitset bits(n);
+  bits.set_all();
+  EXPECT_EQ(bits.count(), n);
+  DynamicBitset full(n, true);
+  EXPECT_EQ(bits, full);
+}
+
+TEST_P(BitsetSizes, FindNextScansCorrectly) {
+  const std::size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  DynamicBitset bits(n);
+  bits.set(1);
+  bits.set(n - 1);
+  EXPECT_EQ(bits.find_first(), 1u);
+  EXPECT_EQ(bits.find_next(2), n - 1);
+  EXPECT_EQ(bits.find_next(n - 1), n - 1);
+  EXPECT_EQ(bits.find_next(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetSizes,
+                         ::testing::Values(1, 5, 63, 64, 65, 128, 200));
+
+TEST(Bitset, BitwiseOps) {
+  DynamicBitset a(70), b(70);
+  a.set(3);
+  a.set(64);
+  b.set(64);
+  b.set(69);
+
+  DynamicBitset and_result = a;
+  and_result &= b;
+  EXPECT_EQ(and_result.to_indices(), (std::vector<std::size_t>{64}));
+
+  DynamicBitset or_result = a;
+  or_result |= b;
+  EXPECT_EQ(or_result.to_indices(), (std::vector<std::size_t>{3, 64, 69}));
+
+  DynamicBitset xor_result = a;
+  xor_result ^= b;
+  EXPECT_EQ(xor_result.to_indices(), (std::vector<std::size_t>{3, 69}));
+
+  DynamicBitset diff = a;
+  diff.and_not(b);
+  EXPECT_EQ(diff.to_indices(), (std::vector<std::size_t>{3}));
+}
+
+TEST(Bitset, IntersectsAndSubset) {
+  DynamicBitset a(100), b(100), c(100);
+  a.set(10);
+  a.set(90);
+  b.set(90);
+  c.set(10);
+  c.set(90);
+  c.set(50);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(b.intersects(DynamicBitset(100)));
+  EXPECT_TRUE(a.is_subset_of(c));
+  EXPECT_FALSE(c.is_subset_of(a));
+  EXPECT_TRUE(b.is_subset_of(a));
+}
+
+TEST(Bitset, ForEachVisitsAscending) {
+  DynamicBitset bits(130);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  std::vector<std::size_t> seen;
+  bits.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 64, 129}));
+}
+
+TEST(Bitset, HashDiffersForDifferentContent) {
+  DynamicBitset a(64), b(64);
+  a.set(5);
+  EXPECT_NE(a.hash(), b.hash());
+  b.set(5);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}, ", "), "");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(2.136, 2), "2.14");
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"design", "cycles"});
+  t.add_row({"gcd", "42"});
+  t.add_row({"diffeq", "7"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("design | cycles"), std::string::npos);
+  EXPECT_NE(out.find("gcd    |     42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Dot, ProducesWellFormedGraph) {
+  DotWriter dot("g");
+  dot.add_node("a", {{"shape", "box"}});
+  dot.begin_cluster("c1", "cluster one");
+  dot.add_node("b");
+  dot.end_cluster();
+  dot.add_edge("a", "b", {{"label", "x\"y"}});
+  const std::string out = dot.finish();
+  EXPECT_NE(out.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(out.find("subgraph \"cluster_c1\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_NE(out.find("x\\\"y"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Dot, FinishTwiceThrows) {
+  DotWriter dot("g");
+  dot.finish();
+  EXPECT_THROW(dot.finish(), Error);
+}
+
+TEST(Dot, UnbalancedClusterThrows) {
+  DotWriter dot("g");
+  EXPECT_THROW(dot.end_cluster(), Error);
+}
+
+}  // namespace
+}  // namespace camad

@@ -1,0 +1,374 @@
+// camadc — command-line driver for the camad synthesis flow.
+//
+//   camadc check  design.bdl [--reachable] [--strict-rule5]
+//   camadc compile design.bdl --out design.sys [--no-fold]
+//   camadc transform design.sys [--parallelize] [--merge-all]
+//                 [--regshare] [--chain] [--cleanup] --out result.sys
+//   camadc synth  design.bdl [--lambda L] [--max-steps N]
+//                 [--netlist PATH] [--dot PATH] [--no-verify]
+//   camadc sim    design.bdl [--in name=v1,v2,...]... [--vcd PATH]
+//                 [--max-cycles N] [--trace] [--seed S]
+//   camadc report design.bdl [--trips T]
+//
+// Exit status: 0 on success, 1 on a failed check / simulation violation,
+// 2 on usage or parse errors.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dcf/check.h"
+#include "petri/classify.h"
+#include "synth/schedule.h"
+#include "dcf/export.h"
+#include "dcf/io.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "sim/vcd.h"
+#include "synth/compile.h"
+#include "synth/critpath.h"
+#include "synth/fold.h"
+#include "synth/parser.h"
+#include "synth/synthesis.h"
+#include "transform/chain.h"
+#include "transform/cleanup.h"
+#include "transform/merge.h"
+#include "transform/parallelize.h"
+#include "transform/regshare.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace camad;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::vector<std::pair<std::string, std::string>> options;  // --key value
+  std::vector<std::string> flags;                            // --key
+
+  [[nodiscard]] std::optional<std::string> option(
+      const std::string& key) const {
+    for (const auto& [k, v] : options) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    for (const std::string& f : flags) {
+      if (f == key) return true;
+    }
+    return false;
+  }
+  /// All values given for a repeatable option (e.g. --in).
+  [[nodiscard]] std::vector<std::string> option_all(
+      const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : options) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
+  }
+};
+
+constexpr const char* kUsage =
+    "usage: camadc <check|compile|transform|synth|sim|report> file [options]\n"
+    "  check:     --reachable --strict-rule5\n"
+    "  compile:   --out design.sys --no-fold\n"
+    "  transform: --parallelize --merge-all --regshare --chain --cleanup\n"
+    "             --out result.sys (passes run in the listed order)\n"
+    "  synth:  --lambda L --max-steps N --netlist PATH --dot PATH "
+    "--no-verify\n"
+    "  sim:    --in name=v1,v2,... --vcd PATH --max-cycles N --trace "
+    "--seed S\n"
+    "  report: --trips T\n";
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 3) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  args.file = argv[2];
+  // Options that take a value; everything else with -- is a flag.
+  const std::vector<std::string> value_options = {
+      "--lambda", "--max-steps", "--netlist", "--dot",    "--in",
+      "--vcd",    "--max-cycles", "--seed",   "--trips", "--out"};
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) return std::nullopt;
+    const bool takes_value =
+        std::find(value_options.begin(), value_options.end(), arg) !=
+        value_options.end();
+    if (takes_value) {
+      if (i + 1 >= argc) return std::nullopt;
+      args.options.emplace_back(arg, argv[++i]);
+    } else {
+      args.flags.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write '" + path + "'");
+  out << text;
+}
+
+/// Loads either BDL source or a saved `camad-system v1` file.
+dcf::System load_any(const std::string& path) {
+  const std::string text = read_file(path);
+  if (starts_with(trim(text), "camad-system")) {
+    return dcf::load_system(text);
+  }
+  return synth::compile_source(text);
+}
+
+int cmd_check(const Args& args) {
+  const dcf::System system = load_any(args.file);
+  dcf::CheckOptions options;
+  options.use_reachable_concurrency = args.flag("--reachable");
+  options.allow_control_only_states = !args.flag("--strict-rule5");
+  const dcf::CheckReport report = dcf::check_properly_designed(system,
+                                                               options);
+  std::cout << system.name() << ": " << report.to_string() << '\n';
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_compile(const Args& args) {
+  const std::string text = read_file(args.file);
+  synth::Program program = synth::parse_program(text);
+  std::size_t folded = 0;
+  if (!args.flag("--no-fold")) folded = synth::fold_constants(program);
+  synth::CompileStats stats;
+  const dcf::System system = synth::compile(program, &stats);
+  std::cout << system.name() << ": " << stats.states << " states, "
+            << stats.functional_units << " FUs, " << stats.registers
+            << " registers (" << folded << " ops folded)\n";
+  const std::string out =
+      args.option("--out").value_or(system.name() + ".sys");
+  write_file(out, dcf::save_system(system));
+  std::cout << "system written to " << out << "\n";
+  return 0;
+}
+
+int cmd_transform(const Args& args) {
+  dcf::System system = load_any(args.file);
+  // Passes run in command-line order.
+  for (const std::string& flag : args.flags) {
+    if (flag == "--parallelize") {
+      transform::ParallelizeStats stats;
+      system = transform::parallelize(system, {}, &stats);
+      std::cout << "parallelize: " << stats.segments_transformed
+                << " segment(s), " << stats.helper_places << " helper(s)\n";
+    } else if (flag == "--merge-all") {
+      std::size_t merges = 0;
+      system = transform::merge_all(system, &merges);
+      std::cout << "merge-all: " << merges << " merger(s)\n";
+    } else if (flag == "--regshare") {
+      transform::RegShareStats stats;
+      system = transform::share_registers(system, &stats);
+      std::cout << "regshare: " << stats.registers_before << " -> "
+                << stats.registers_after << " registers\n";
+    } else if (flag == "--chain") {
+      transform::ChainStats stats;
+      system = transform::chain_states(system, {}, &stats);
+      std::cout << "chain: " << stats.states_merged << " state(s) merged\n";
+    } else if (flag == "--cleanup") {
+      transform::CleanupStats stats;
+      system = transform::cleanup_control(system, &stats);
+      std::cout << "cleanup: " << stats.states_removed
+                << " state(s) removed\n";
+    } else {
+      std::cerr << "unknown transform flag " << flag << "\n";
+      return 2;
+    }
+  }
+  const dcf::CheckReport report = dcf::check_properly_designed(system);
+  std::cout << "result: " << report.to_string() << "\n";
+  const std::string out =
+      args.option("--out").value_or(system.name() + ".sys");
+  write_file(out, dcf::save_system(system));
+  std::cout << "system written to " << out << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_synth(const Args& args) {
+  synth::SynthesisOptions options;
+  if (const auto lambda = args.option("--lambda")) {
+    options.optimizer.area_weight = std::stod(*lambda);
+  }
+  if (const auto steps = args.option("--max-steps")) {
+    options.optimizer.max_steps = std::stoul(*steps);
+  }
+  options.verify_result = !args.flag("--no-verify");
+  options.optimizer.measure.environments = 2;
+
+  const synth::SynthesisResult result =
+      synth::synthesize(read_file(args.file), options);
+  std::cout << result.report << '\n';
+  if (const auto path = args.option("--netlist")) {
+    write_file(*path, result.netlist);
+    std::cout << "netlist written to " << *path << '\n';
+  } else {
+    std::cout << result.netlist;
+  }
+  if (const auto path = args.option("--dot")) {
+    write_file(*path, dcf::system_to_dot(result.optimized));
+    std::cout << "dot written to " << *path << '\n';
+  }
+  return 0;
+}
+
+int cmd_sim(const Args& args) {
+  const dcf::System system = load_any(args.file);
+
+  sim::Environment env;
+  const auto specs = args.option_all("--in");
+  if (specs.empty()) {
+    std::uint64_t seed = 7;
+    if (const auto s = args.option("--seed")) seed = std::stoull(s->c_str());
+    env = sim::Environment::random_for(system, seed, 64, 1, 99);
+    std::cout << "(no --in given: random environment, seed " << seed
+              << ")\n";
+  } else {
+    for (const std::string& spec : specs) {
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "bad --in spec '" << spec << "'\n";
+        return 2;
+      }
+      const std::string name = spec.substr(0, eq);
+      const dcf::VertexId v = system.datapath().find_vertex(name);
+      if (!v.valid()) {
+        std::cerr << "no input named '" << name << "'\n";
+        return 2;
+      }
+      std::vector<std::int64_t> values;
+      for (const std::string& item : split(spec.substr(eq + 1), ',')) {
+        values.push_back(std::stoll(item));
+      }
+      env.set_stream(v, std::move(values));
+    }
+  }
+
+  sim::SimOptions options;
+  options.record_registers = args.option("--vcd").has_value();
+  if (const auto limit = args.option("--max-cycles")) {
+    options.max_cycles = std::stoull(limit->c_str());
+  }
+  const sim::SimResult result = sim::simulate(system, env, options);
+
+  std::cout << system.name() << ": "
+            << (result.terminated
+                    ? "terminated"
+                    : (result.deadlocked ? "deadlocked" : "cycle limit"))
+            << " after " << result.cycles << " cycles, "
+            << result.trace.event_count() << " external events\n";
+  for (const std::string& violation : result.violations) {
+    std::cout << "violation: " << violation << '\n';
+  }
+  if (args.flag("--trace")) {
+    std::cout << result.trace.to_string(system);
+  } else {
+    // Print just the external events, channel=value per line.
+    const dcf::DataPath& dp = system.datapath();
+    for (const sim::ExternalEvent& e : result.trace.events()) {
+      const dcf::VertexId src = dp.arc_source_vertex(e.arc);
+      const dcf::VertexId dst = dp.arc_target_vertex(e.arc);
+      const dcf::VertexId ext =
+          dp.kind(src) != dcf::VertexKind::kInternal ? src : dst;
+      std::cout << "  @" << e.cycle << ' ' << dp.name(ext) << " = "
+                << e.value << '\n';
+    }
+  }
+  if (const auto path = args.option("--vcd")) {
+    write_file(*path, sim::to_vcd(system, result.trace));
+    std::cout << "waveform written to " << *path << '\n';
+  }
+  return result.violations.empty() ? 0 : 1;
+}
+
+int cmd_report(const Args& args) {
+  const dcf::System system = load_any(args.file);
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+
+  std::size_t fus = 0, registers = 0, constants = 0;
+  for (dcf::VertexId v : system.datapath().vertices()) {
+    if (system.datapath().kind(v) != dcf::VertexKind::kInternal) continue;
+    bool is_reg = false, is_const = false;
+    for (dcf::PortId o : system.datapath().output_ports(v)) {
+      is_reg |= system.datapath().operation(o).code == dcf::OpCode::kReg;
+      is_const |= system.datapath().operation(o).code == dcf::OpCode::kConst;
+    }
+    if (is_reg) ++registers;
+    else if (is_const) ++constants;
+    else ++fus;
+  }
+  Table table({"metric", "value"});
+  table.add_row({"control states",
+                 std::to_string(system.control().net().place_count())});
+  table.add_row({"transitions",
+                 std::to_string(system.control().net().transition_count())});
+  table.add_row({"functional units", std::to_string(fus)});
+  table.add_row({"registers", std::to_string(registers)});
+  table.add_row({"constants", std::to_string(constants)});
+  table.add_row({"arcs", std::to_string(system.datapath().arc_count())});
+  const synth::AreaReport area = synth::estimate_area(system, lib);
+  table.add_row({"area (gates)", format_double(area.total(), 0)});
+  const synth::TimingReport timing = synth::estimate_cycle_time(system, lib);
+  table.add_row({"cycle time (ns)", format_double(timing.cycle_time, 1)});
+  std::cout << system.name() << '\n' << table.to_string();
+
+  synth::CriticalPathOptions cp;
+  if (const auto trips = args.option("--trips")) {
+    cp.loop_trip_count = std::stod(*trips);
+  }
+  const synth::CriticalPathResult path =
+      synth::critical_path(system, lib, cp);
+  std::cout << path.to_string(system) << '\n';
+
+  std::cout << "control net class: "
+            << petri::classify(system.control().net()).to_string() << '\n';
+  std::cout << "schedule bounds:\n"
+            << synth::analyze_schedules(system).to_string(system);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Args> args = parse_args(argc, argv);
+  if (!args) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  try {
+    if (args->command == "check") return cmd_check(*args);
+    if (args->command == "compile") return cmd_compile(*args);
+    if (args->command == "transform") return cmd_transform(*args);
+    if (args->command == "synth") return cmd_synth(*args);
+    if (args->command == "sim") return cmd_sim(*args);
+    if (args->command == "report") return cmd_report(*args);
+    std::cerr << kUsage;
+    return 2;
+  } catch (const ParseError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
