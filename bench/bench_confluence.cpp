@@ -18,6 +18,7 @@
 #include "dcf/builder.h"
 #include "dcf/check.h"
 #include "semantics/events.h"
+#include "sim/batch.h"
 #include "sim/simulator.h"
 #include "synth/compile.h"
 #include "transform/parallelize.h"
@@ -41,18 +42,32 @@ semantics::EventStructure run(const dcf::System& sys,
 }
 
 /// Agreement rate of 10 randomized executions against maximal-step.
+/// The randomized runs are independent, so they go through simulate_batch
+/// (one shared immutable system, one Simulator per worker).
 double agreement(const dcf::System& sys) {
   const semantics::EventStructure reference =
       run(sys, sim::FiringPolicy::kMaximalStep, 1);
-  int agree = 0, total = 0;
+  std::vector<sim::BatchRun> runs;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     for (const sim::FiringPolicy policy :
          {sim::FiringPolicy::kRandomOrder, sim::FiringPolicy::kSingleRandom}) {
-      ++total;
-      if (run(sys, policy, seed).equivalent(reference)) ++agree;
+      sim::BatchRun job;
+      job.environment = sim::Environment::random_for(sys, 23, 64, 1, 20);
+      job.options.policy = policy;
+      job.options.seed = seed;
+      job.options.record_cycles = false;
+      runs.push_back(std::move(job));
     }
   }
-  return 100.0 * agree / total;
+  const std::vector<sim::SimResult> results = sim::simulate_batch(sys, runs);
+  int agree = 0;
+  for (const sim::SimResult& result : results) {
+    if (semantics::EventStructure::extract(sys, result.trace)
+            .equivalent(reference)) {
+      ++agree;
+    }
+  }
+  return 100.0 * agree / static_cast<int>(results.size());
 }
 
 /// Free-choice conflict: one place, two unguarded consumers writing

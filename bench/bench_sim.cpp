@@ -2,16 +2,31 @@
 // as the equivalence oracle inside the optimizer's inner loop.
 //
 // Reports cycles/second on the named designs and on random compiled
-// programs of growing size.
+// programs of growing size, for both engines:
+//   * BM_simulate/<design>           — compiled-plan engine, persistent
+//     Simulator (steady-state: plans compiled once, then replayed);
+//   * BM_simulate_reference/<design> — the naive per-cycle baseline;
+//   * BM_simulate_cold/<design>      — compiled engine with a fresh
+//     Simulator per run (plan compilation on the critical path);
+//   * BM_simulate_batch/<design>     — simulate_batch over 16 seeds.
 //
-// Expected shape: throughput in the hundreds of thousands of
-// cycles/second at small sizes, degrading roughly linearly with data-path
-// size (per-cycle evaluation is O(ports + arcs)).
+// Expected shape: the compiled engine's steady-state throughput exceeds
+// the reference baseline by well over 2x; cold-start sits between the
+// two (plan compilation is paid once per distinct configuration).
+//
+// Pass --json[=PATH] (default BENCH_sim.json) to additionally emit a
+// machine-readable cycles/s record per design so the perf trajectory is
+// tracked across PRs (see docs/PERF.md).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "sim/batch.h"
 #include "sim/simulator.h"
 #include "synth/compile.h"
 #include "synth/designs.h"
@@ -43,13 +58,60 @@ void print_table() {
 void BM_simulate_design(benchmark::State& state, const std::string& name,
                         const std::string& source) {
   const dcf::System sys = synth::compile_source(source);
+  sim::Simulator simulator(sys);
+  sim::Environment env = bench::fixed_environment(sys, name);
+  sim::SimOptions options;
+  options.record_cycles = false;
   std::uint64_t cycles = 0;
   for (auto _ : state) {
-    sim::Environment env = bench::fixed_environment(sys, name);
-    sim::SimOptions options;
-    options.record_cycles = false;
-    const sim::SimResult result = sim::simulate(sys, env, options);
-    cycles += result.cycles;
+    env.rewind();
+    cycles += simulator.run(env, options).cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_simulate_reference(benchmark::State& state, const std::string& name,
+                           const std::string& source) {
+  const dcf::System sys = synth::compile_source(source);
+  sim::Environment env = bench::fixed_environment(sys, name);
+  sim::SimOptions options;
+  options.record_cycles = false;
+  options.engine = sim::SimEngine::kReference;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    env.rewind();
+    cycles += sim::simulate(sys, env, options).cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_simulate_cold(benchmark::State& state, const std::string& name,
+                      const std::string& source) {
+  const dcf::System sys = synth::compile_source(source);
+  sim::Environment env = bench::fixed_environment(sys, name);
+  sim::SimOptions options;
+  options.record_cycles = false;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    env.rewind();
+    cycles += sim::simulate(sys, env, options).cycles;  // fresh engine
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_simulate_batch(benchmark::State& state, const std::string& /*name*/,
+                       const std::string& source) {
+  const dcf::System sys = synth::compile_source(source);
+  sim::SimOptions options;
+  options.record_cycles = false;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto results =
+        sim::simulate_batch_seeds(sys, 1, 16, 64, options, 0, 1, 20);
+    for (const sim::SimResult& r : results) cycles += r.cycles;
   }
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
@@ -63,12 +125,13 @@ void BM_simulate_random(benchmark::State& state) {
   options.loop_trip = 8;
   const dcf::System sys =
       synth::compile_source(bench::random_program(17, options));
+  sim::Simulator simulator(sys);
   std::uint64_t cycles = 0;
   for (auto _ : state) {
     sim::Environment env = sim::Environment::random_for(sys, 5, 64, 1, 20);
     sim::SimOptions sim_options;
     sim_options.record_cycles = false;
-    cycles += sim::simulate(sys, env, sim_options).cycles;
+    cycles += simulator.run(env, sim_options).cycles;
   }
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
@@ -79,13 +142,105 @@ void BM_simulate_random(benchmark::State& state) {
 BENCHMARK(BM_simulate_random)->Arg(8)->Arg(32)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
+/// Steady-state cycles/second of one engine on one design, measured with
+/// a persistent engine and rewound environment (min 0.2s of wall time).
+double measure_cycles_per_second(const dcf::System& sys,
+                                 const std::string& name,
+                                 sim::SimEngine engine) {
+  sim::Environment env = bench::fixed_environment(sys, name);
+  sim::SimOptions options;
+  options.record_cycles = false;
+  options.engine = engine;
+  sim::Simulator simulator(sys);
+  // Warm up (compile plans / memoize orders).
+  env.rewind();
+  simulator.run(env, options);
+
+  using clock = std::chrono::steady_clock;
+  std::uint64_t cycles = 0;
+  const auto start = clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  do {
+    env.rewind();
+    cycles += simulator.run(env, options).cycles;
+  } while (elapsed() < 0.2);
+  return static_cast<double>(cycles) / elapsed();
+}
+
+/// Emits BENCH_sim.json: per-design steady-state cycles/s for the
+/// compiled engine and the reference baseline, plus the speedup.
+/// Returns false if the file cannot be written.
+bool emit_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << '\n';
+    return false;
+  }
+  out << "{\n  \"bench\": \"sim\",\n  \"metric\": \"cycles_per_second\",\n"
+      << "  \"designs\": [\n";
+  bool first = true;
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    const dcf::System sys = synth::compile_source(std::string(d.source));
+    const double compiled =
+        measure_cycles_per_second(sys, d.name, sim::SimEngine::kCompiled);
+    const double reference =
+        measure_cycles_per_second(sys, d.name, sim::SimEngine::kReference);
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"design\": \"" << d.name << "\", \"cycles_per_second\": "
+        << static_cast<std::uint64_t>(compiled)
+        << ", \"reference_cycles_per_second\": "
+        << static_cast<std::uint64_t>(reference) << ", \"speedup\": "
+        << format_double(compiled / reference, 2) << "}";
+    std::cout << "BENCH_sim " << d.name << ": "
+              << static_cast<std::uint64_t>(compiled) << " cycles/s ("
+              << format_double(compiled / reference, 2) << "x reference)\n";
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed writing " << path << '\n';
+    return false;
+  }
+  std::cout << "wrote " << path << '\n';
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Extract our --json[=PATH] flag before google-benchmark sees argv.
+  std::string json_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_sim.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
   print_table();
+  if (!json_path.empty()) {
+    return emit_json(json_path) ? 0 : 1;
+  }
   for (const synth::NamedDesign& d : synth::all_designs()) {
     benchmark::RegisterBenchmark(("BM_simulate/" + d.name).c_str(),
                                  BM_simulate_design, d.name,
+                                 std::string(d.source));
+    benchmark::RegisterBenchmark(
+        ("BM_simulate_reference/" + d.name).c_str(), BM_simulate_reference,
+        d.name, std::string(d.source));
+    benchmark::RegisterBenchmark(("BM_simulate_cold/" + d.name).c_str(),
+                                 BM_simulate_cold, d.name,
+                                 std::string(d.source));
+    benchmark::RegisterBenchmark(("BM_simulate_batch/" + d.name).c_str(),
+                                 BM_simulate_batch, d.name,
                                  std::string(d.source));
   }
   benchmark::Initialize(&argc, argv);

@@ -31,6 +31,26 @@ std::vector<PlaceId> Marking::marked_places() const {
   return out;
 }
 
+void Marking::marked_into(DynamicBitset& out) const {
+  if (out.size() != tokens_.size()) {
+    out = DynamicBitset(tokens_.size());
+  } else {
+    out.reset_all();
+  }
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] > 0) out.set(i);
+  }
+}
+
+void Marking::marked_places_into(std::vector<PlaceId>& out) const {
+  out.clear();
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] > 0) {
+      out.emplace_back(static_cast<PlaceId::underlying_type>(i));
+    }
+  }
+}
+
 std::size_t Marking::hash() const {
   std::size_t h = 1469598103934665603ULL;
   for (std::uint32_t t : tokens_) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "petri/net.h"
+#include "util/bitset.h"
 
 namespace camad::petri {
 
@@ -32,6 +33,13 @@ class Marking {
   [[nodiscard]] bool is_safe() const;
   /// Places currently holding >= 1 token.
   [[nodiscard]] std::vector<PlaceId> marked_places() const;
+  /// Writes the marked-place support into `out` (bit i set iff place i is
+  /// marked). Allocation-free when `out` already spans place_count() bits;
+  /// resizes it otherwise.
+  void marked_into(DynamicBitset& out) const;
+  /// Fills `out` with the marked places in ascending order, reusing its
+  /// capacity (allocation-free once it has grown to the high-water mark).
+  void marked_places_into(std::vector<PlaceId>& out) const;
 
   friend bool operator==(const Marking&, const Marking&) = default;
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "petri/order.h"
+#include "sim/batch.h"
 
 namespace camad::semantics {
 namespace {
@@ -131,25 +132,40 @@ EquivalenceVerdict differential_equivalence(
     const dcf::System& gamma, const dcf::System& gamma_prime,
     const DifferentialOptions& options) {
   EquivalenceVerdict verdict;
+  // The k environments are independent: batch each system's runs over the
+  // worker pool (each worker reuses one Simulator, so configuration plans
+  // compile once per worker, not once per seed).
+  std::vector<sim::BatchRun> runs_a;
+  std::vector<sim::BatchRun> runs_b;
+  runs_a.reserve(options.environments);
+  runs_b.reserve(options.environments);
   for (std::size_t k = 0; k < options.environments; ++k) {
     const std::uint64_t seed = options.seed + k;
-    sim::Environment env_a =
-        sim::Environment::random_for(gamma, seed, options.stream_length,
-                                     options.value_lo, options.value_hi);
-    sim::Environment env_b =
-        sim::Environment::random_for(gamma_prime, seed, options.stream_length,
-                                     options.value_lo, options.value_hi);
-    const sim::SimResult ra = sim::simulate(gamma, env_a, options.sim);
-    const sim::SimResult rb = sim::simulate(gamma_prime, env_b, options.sim);
+    runs_a.push_back(
+        {sim::Environment::random_for(gamma, seed, options.stream_length,
+                                      options.value_lo, options.value_hi),
+         options.sim});
+    runs_b.push_back(
+        {sim::Environment::random_for(gamma_prime, seed,
+                                      options.stream_length,
+                                      options.value_lo, options.value_hi),
+         options.sim});
+  }
+  const std::vector<sim::SimResult> results_a =
+      sim::simulate_batch(gamma, runs_a);
+  const std::vector<sim::SimResult> results_b =
+      sim::simulate_batch(gamma_prime, runs_b);
 
-    const EventStructure sa = EventStructure::extract(gamma, ra.trace);
+  for (std::size_t k = 0; k < options.environments; ++k) {
+    const EventStructure sa =
+        EventStructure::extract(gamma, results_a[k].trace);
     const EventStructure sb =
-        EventStructure::extract(gamma_prime, rb.trace);
+        EventStructure::extract(gamma_prime, results_b[k].trace);
     std::string why;
     if (!sa.equivalent(sb, &why)) {
       verdict.holds = false;
-      verdict.why =
-          "environment seed " + std::to_string(seed) + ": " + why;
+      verdict.why = "environment seed " +
+                    std::to_string(options.seed + k) + ": " + why;
       return verdict;
     }
   }

@@ -1,0 +1,76 @@
+#include "sim/batch.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace camad::sim {
+
+std::vector<SimResult> simulate_batch(const dcf::System& system,
+                                      std::vector<BatchRun>& runs,
+                                      std::size_t threads) {
+  std::vector<SimResult> results(runs.size());
+  if (runs.empty()) return results;
+
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > runs.size()) threads = runs.size();
+
+  if (threads == 1) {
+    Simulator simulator(system);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      results[i] = simulator.run(runs[i].environment, runs[i].options);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        Simulator simulator(system);
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < runs.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          results[i] = simulator.run(runs[i].environment, runs[i].options);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+std::vector<SimResult> simulate_batch_seeds(const dcf::System& system,
+                                            std::uint64_t base_seed,
+                                            std::size_t count,
+                                            std::size_t stream_length,
+                                            const SimOptions& options,
+                                            std::size_t threads,
+                                            std::int64_t value_lo,
+                                            std::int64_t value_hi) {
+  std::vector<BatchRun> runs;
+  runs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint64_t seed = base_seed + k;
+    BatchRun run;
+    run.environment = Environment::random_for(system, seed, stream_length,
+                                              value_lo, value_hi);
+    run.options = options;
+    run.options.seed = seed;
+    runs.push_back(std::move(run));
+  }
+  return simulate_batch(system, runs, threads);
+}
+
+}  // namespace camad::sim

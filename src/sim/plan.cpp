@@ -1,0 +1,245 @@
+#include "sim/plan.h"
+
+#include <string>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+
+namespace camad::sim {
+namespace {
+
+using dcf::ArcId;
+using dcf::OpCode;
+using dcf::Operation;
+using dcf::PortId;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+constexpr std::uint32_t kNoDriver = 0xffffffffU;
+
+}  // namespace
+
+ConfigPlan compile_plan(const dcf::System& system,
+                        const DynamicBitset& marked_bits) {
+  const dcf::DataPath& dp = system.datapath();
+  const dcf::ControlNet& cn = system.control();
+  const petri::Net& net = cn.net();
+  const std::size_t ports = dp.port_count();
+
+  ConfigPlan plan;
+  marked_bits.for_each([&](std::size_t i) {
+    plan.marked.emplace_back(static_cast<PlaceId::underlying_type>(i));
+  });
+
+  // Rule 8: arcs controlled by marked states open; the controller of an
+  // arc is the first marked state (ascending) that controls it.
+  plan.arc_active = DynamicBitset(dp.arc_count());
+  plan.controller.assign(dp.arc_count(), PlaceId::invalid());
+  for (PlaceId s : plan.marked) {
+    for (ArcId a : cn.controlled_arcs(s)) {
+      plan.arc_active.set(a.index());
+      if (!plan.controller[a.index()].valid()) plan.controller[a.index()] = s;
+    }
+  }
+
+  // Full dependency graph over ports, exactly as the reference evaluator
+  // builds it, so combinational-loop detection and evaluation order agree.
+  graph::Digraph deps(ports);
+  for (ArcId a : dp.arcs()) {
+    if (!plan.arc_active.test(a.index())) continue;
+    deps.add_edge(graph::NodeId(dp.arc_source(a).value()),
+                  graph::NodeId(dp.arc_target(a).value()));
+  }
+  for (VertexId v : dp.vertices()) {
+    for (PortId o : dp.output_ports(v)) {
+      const Operation& op = dp.operation(o);
+      if (dcf::op_is_sequential(op.code)) continue;
+      const int arity = dcf::op_arity(op.code);
+      const auto& ins = dp.input_ports(v);
+      for (int k = 0; k < arity; ++k) {
+        deps.add_edge(graph::NodeId(ins[static_cast<std::size_t>(k)].value()),
+                      graph::NodeId(o.value()));
+      }
+    }
+  }
+  const auto sorted = graph::topological_sort(deps);
+  if (!sorted) {
+    plan.combinational_loop = true;
+    return plan;
+  }
+
+  // Rule 10 per input port: 0 drivers -> ⊥, 1 -> copy, >1 -> conflict.
+  // Conflicts are reported in evaluation order, like the reference path.
+  std::vector<std::uint32_t> unique_driver(ports, kNoDriver);
+  for (graph::NodeId n : *sorted) {
+    const PortId p(n.value());
+    if (dp.direction(p) != dcf::PortDir::kIn) continue;
+    int active_count = 0;
+    PortId source = PortId::invalid();
+    for (ArcId a : dp.arcs_into(p)) {
+      if (!plan.arc_active.test(a.index())) continue;
+      ++active_count;
+      source = dp.arc_source(a);
+    }
+    if (active_count > 1) {
+      plan.drive_conflicts.push_back(
+          "input port " + dp.name(p) + " driven by " +
+          std::to_string(active_count) + " simultaneously active arcs");
+    } else if (active_count == 1) {
+      unique_driver[p.index()] = source.value();
+    }
+  }
+
+  // Candidate transitions: preset ⊆ marked support — the rule-3
+  // enabledness test for any token counts sharing this support.
+  plan.candidate_mask = DynamicBitset(net.transition_count());
+  for (TransitionId t : net.transitions()) {
+    bool candidate = true;
+    for (PlaceId p : net.pre(t)) {
+      if (!marked_bits.test(p.index())) {
+        candidate = false;
+        break;
+      }
+    }
+    if (candidate) {
+      plan.candidate_mask.set(t.index());
+      plan.candidates.push_back(t);
+    }
+  }
+
+  // Guard-conflict monitor sites (Def 3.2 rule 3, dynamic side): marked
+  // places with >= 2 successors, restricted to enabled successors. Fewer
+  // than two enabled successors can never conflict.
+  for (PlaceId p : plan.marked) {
+    const auto& succs = net.post(p);
+    if (succs.size() < 2) continue;
+    ConflictCheck check;
+    check.place = p;
+    for (TransitionId t : succs) {
+      if (plan.candidate_mask.test(t.index())) check.candidates.push_back(t);
+    }
+    if (check.candidates.size() >= 2) {
+      plan.conflict_checks.push_back(std::move(check));
+    }
+  }
+
+  // Active external arcs in arc-id order (Def 3.4 event sites).
+  for (ArcId a : dp.external_arcs()) {
+    if (!plan.arc_active.test(a.index())) continue;
+    plan.events.push_back(
+        PlannedEvent{a, dp.arc_source(a).value(), plan.controller[a.index()]});
+  }
+
+  // Observation cone: guard ports of candidates, latch targets reachable
+  // from candidate presets, event sources, and every environment-source
+  // port (the reference engine polls env.current for each kInput output
+  // every cycle, which also drives Environment::exhausted()).
+  std::vector<char> needed(ports, 0);
+  std::vector<PortId> pending;
+  auto need = [&](PortId p) {
+    if (!needed[p.index()]) {
+      needed[p.index()] = 1;
+      pending.push_back(p);
+    }
+  };
+  for (TransitionId t : plan.candidates) {
+    for (PortId g : cn.guards(t)) need(g);
+    for (PlaceId p : net.pre(t)) {
+      for (ArcId a : cn.controlled_arcs(p)) need(dp.arc_target(a));
+    }
+  }
+  for (const PlannedEvent& e : plan.events) need(PortId(e.source_port));
+  for (VertexId v : dp.vertices()) {
+    if (dp.kind(v) == dcf::VertexKind::kInput) need(dp.the_output_port(v));
+  }
+  while (!pending.empty()) {
+    const PortId p = pending.back();
+    pending.pop_back();
+    if (dp.direction(p) == dcf::PortDir::kIn) {
+      if (unique_driver[p.index()] != kNoDriver) {
+        need(PortId(unique_driver[p.index()]));
+      }
+      continue;
+    }
+    const Operation& op = dp.operation(p);
+    if (dcf::op_is_sequential(op.code) || op.code == OpCode::kConst) continue;
+    const int arity = dcf::op_arity(op.code);
+    const auto& ins = dp.input_ports(dp.owner(p));
+    for (int k = 0; k < arity; ++k) {
+      need(ins[static_cast<std::size_t>(k)]);
+    }
+  }
+
+  // Emit the schedule: cone ports only, in the full topological order.
+  for (graph::NodeId n : *sorted) {
+    const PortId p(n.value());
+    if (!needed[p.index()]) continue;
+    EvalStep step;
+    step.dst = p.value();
+    if (dp.direction(p) == dcf::PortDir::kIn) {
+      if (unique_driver[p.index()] == kNoDriver) continue;  // stays ⊥
+      step.kind = EvalStep::Kind::kCopy;
+      step.src[0] = unique_driver[p.index()];
+    } else {
+      const Operation& op = dp.operation(p);
+      step.op = op;
+      switch (op.code) {
+        case OpCode::kReg:
+          step.kind = EvalStep::Kind::kReg;
+          break;
+        case OpCode::kInput:
+          step.kind = EvalStep::Kind::kInput;
+          step.owner = dp.owner(p);
+          break;
+        case OpCode::kConst:
+          step.kind = EvalStep::Kind::kConst;
+          break;
+        default: {
+          step.kind = EvalStep::Kind::kOp;
+          const int arity = dcf::op_arity(op.code);
+          step.arity = static_cast<std::uint8_t>(arity);
+          const auto& ins = dp.input_ports(dp.owner(p));
+          for (int k = 0; k < arity; ++k) {
+            step.src[k] = ins[static_cast<std::size_t>(k)].value();
+          }
+          break;
+        }
+      }
+    }
+    plan.schedule.push_back(step);
+    plan.written.push_back(p.value());
+  }
+  return plan;
+}
+
+std::vector<TransitionActions> compile_transition_actions(
+    const dcf::System& system) {
+  const dcf::DataPath& dp = system.datapath();
+  const dcf::ControlNet& cn = system.control();
+  const petri::Net& net = cn.net();
+
+  std::vector<TransitionActions> actions(net.transition_count());
+  for (TransitionId t : net.transitions()) {
+    TransitionActions& act = actions[t.index()];
+    for (PlaceId p : net.pre(t)) {
+      for (ArcId a : cn.controlled_arcs(p)) {
+        const VertexId src = dp.arc_source_vertex(a);
+        if (dp.kind(src) == dcf::VertexKind::kInput) {
+          act.consumes.push_back(src);  // deduplicated per cycle at run time
+        }
+        const PortId target = dp.arc_target(a);
+        const VertexId dst = dp.owner(target);
+        for (PortId o : dp.output_ports(dst)) {
+          if (dp.operation(o).code != OpCode::kReg) continue;
+          const auto& ins = dp.input_ports(dst);
+          if (ins.empty() || ins.front() != target) continue;
+          act.latches.emplace_back(target.value(), o.value());
+        }
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace camad::sim

@@ -1,15 +1,20 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <array>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "graph/algorithms.h"
 #include "graph/digraph.h"
 #include "petri/exec.h"
 #include "petri/marking.h"
+#include "sim/plan.h"
+#include "util/bitset.h"
 #include "util/error.h"
+#include "util/lru.h"
 #include "util/rng.h"
 
 namespace camad::sim {
@@ -24,27 +29,36 @@ using dcf::VertexId;
 using petri::PlaceId;
 using petri::TransitionId;
 
+// ---------------------------------------------------------------------------
+// Reference engine: the direct per-cycle transcription of the Def 3.1
+// rules. Deliberately naive — it re-derives the active configuration every
+// cycle — and kept as the differential baseline the compiled engine must
+// match bit-for-bit.
+
 /// Per-cycle combinational evaluation over the active subgraph.
 ///
 /// The evaluation *order* depends only on the active arc set, which is a
 /// function of the marked place set — loop bodies revisit the same
-/// markings every iteration, so orders are memoized per marked-set key.
+/// markings every iteration, so orders are memoized per marked-set key
+/// (LRU-capped: reachable marked sets can be exponential in |S|).
 class PortEvaluator {
  public:
-  explicit PortEvaluator(const dcf::System& system)
-      : system_(system), dp_(system.datapath()) {}
+  PortEvaluator(const dcf::System& system, std::size_t cache_capacity)
+      : system_(system),
+        dp_(system.datapath()),
+        order_cache_(cache_capacity) {}
 
   /// Evaluates all port values for the given set of active arcs.
   /// `reg_state` is indexed by output-port id (kReg ports only);
   /// env supplies kInput vertex values. Throws SimulationError on an
   /// active combinational loop.
-  std::vector<Value> evaluate(const std::vector<PlaceId>& marked,
+  std::vector<Value> evaluate(const DynamicBitset& marked_bits,
                               const std::vector<bool>& arc_active,
                               const std::vector<Value>& reg_state,
                               const Environment& env,
                               std::vector<std::string>& violations) {
     const std::size_t ports = dp_.port_count();
-    const std::vector<PortId>& order = order_for(marked, arc_active);
+    const std::vector<PortId>& order = order_for(marked_bits, arc_active);
 
     std::vector<Value> value(ports, Value::undef());
     std::vector<Value> operand_buffer;
@@ -93,17 +107,19 @@ class PortEvaluator {
     return value;
   }
 
+  [[nodiscard]] const LruCache<DynamicBitset, std::vector<PortId>,
+                               DynamicBitsetHash>&
+  cache() const {
+    return order_cache_;
+  }
+
  private:
   /// Memoized topological evaluation order per marked-set key.
-  const std::vector<PortId>& order_for(const std::vector<PlaceId>& marked,
+  const std::vector<PortId>& order_for(const DynamicBitset& marked_bits,
                                        const std::vector<bool>& arc_active) {
-    std::string key;
-    key.reserve(marked.size() * 4);
-    for (PlaceId p : marked) {
-      key.append(reinterpret_cast<const char*>(&p), sizeof p);
+    if (const std::vector<PortId>* hit = order_cache_.find(marked_bits)) {
+      return *hit;
     }
-    const auto hit = order_cache_.find(key);
-    if (hit != order_cache_.end()) return hit->second;
 
     // Dependency graph: active arcs (out -> in), plus in -> out inside
     // each vertex for combinatorial output ports. Registers/environment
@@ -135,26 +151,24 @@ class PortEvaluator {
     std::vector<PortId> order;
     order.reserve(sorted->size());
     for (graph::NodeId node : *sorted) order.emplace_back(node.value());
-    return order_cache_.emplace(std::move(key), std::move(order))
-        .first->second;
+    return order_cache_.insert(marked_bits, std::move(order));
   }
 
   const dcf::System& system_;
   const dcf::DataPath& dp_;
-  std::unordered_map<std::string, std::vector<PortId>> order_cache_;
+  LruCache<DynamicBitset, std::vector<PortId>, DynamicBitsetHash>
+      order_cache_;
 };
 
-}  // namespace
-
-SimResult simulate(const dcf::System& system, Environment& env,
-                   const SimOptions& options) {
+SimResult simulate_reference(const dcf::System& system, Environment& env,
+                             const SimOptions& options) {
   const dcf::DataPath& dp = system.datapath();
   const dcf::ControlNet& cn = system.control();
   const petri::Net& net = cn.net();
 
   SimResult result;
   petri::Marking marking = petri::Marking::initial(net);
-  PortEvaluator evaluator(system);
+  PortEvaluator evaluator(system, options.plan_cache_capacity);
 
   // Latched state per kReg output port; ⊥ at power-up.
   std::vector<Value> reg_state(dp.port_count(), Value::undef());
@@ -165,6 +179,10 @@ SimResult simulate(const dcf::System& system, Environment& env,
     if (net.initial_tokens(p) > 0) arrival[p.index()] = true;
   }
 
+  // The external-arc set is static; scan it once, not every cycle.
+  const std::vector<ArcId> external_arcs = dp.external_arcs();
+
+  DynamicBitset marked_bits;
   Rng rng(options.seed);
   bool reported_unsafe = false;
 
@@ -184,6 +202,7 @@ SimResult simulate(const dcf::System& system, Environment& env,
     std::vector<bool> arc_active(dp.arc_count(), false);
     std::vector<PlaceId> controller(dp.arc_count(), PlaceId::invalid());
     const std::vector<PlaceId> marked = marking.marked_places();
+    marking.marked_into(marked_bits);
     for (PlaceId s : marked) {
       for (ArcId a : cn.controlled_arcs(s)) {
         arc_active[a.index()] = true;
@@ -194,7 +213,7 @@ SimResult simulate(const dcf::System& system, Environment& env,
     // 2. Combinational propagation (rules 7-10).
     std::vector<Value> port_value;
     try {
-      port_value = evaluator.evaluate(marked, arc_active, reg_state, env,
+      port_value = evaluator.evaluate(marked_bits, arc_active, reg_state, env,
                                       result.violations);
     } catch (const SimulationError& e) {
       result.violations.push_back(e.what());
@@ -205,8 +224,8 @@ SimResult simulate(const dcf::System& system, Environment& env,
     CycleRecord record;
     record.cycle = cycle;
     if (options.record_cycles) record.marked = marked;
-    for (ArcId a : dp.arcs()) {
-      if (!arc_active[a.index()] || !dp.is_external_arc(a)) continue;
+    for (ArcId a : external_arcs) {
+      if (!arc_active[a.index()]) continue;
       const PlaceId s = controller[a.index()];
       if (!s.valid() || !arrival[s.index()]) continue;
       record.events.push_back(ExternalEvent{
@@ -323,7 +342,336 @@ SimResult simulate(const dcf::System& system, Environment& env,
       }
     }
   }
+  result.stats.plan_cache_hits = evaluator.cache().hits();
+  result.stats.plan_cache_misses = evaluator.cache().misses();
+  result.stats.plan_cache_evictions = evaluator.cache().evictions();
+  result.stats.plan_cache_size = evaluator.cache().size();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-plan engine.
+
+/// Reusable cycle-loop buffers. Everything the steady-state loop touches
+/// is hoisted here so that, once the buffers reach their high-water marks,
+/// a cycle performs zero heap allocations (when per-cycle recording is
+/// off and no external event occurs).
+struct SimScratch {
+  DynamicBitset marked_bits;            ///< plan-cache key, refilled per cycle
+  std::vector<Value> port_value;        ///< per port; cone reset via prev_written
+  std::vector<Value> reg_state;         ///< per port (kReg outputs)
+  std::vector<std::uint32_t> prev_written;  ///< last cycle's written cone
+  std::vector<std::uint8_t> arrival;    ///< per place: token arrived this cycle
+  petri::Marking marking;
+  petri::Marking available;             ///< step-firing: start minus consumed
+  petri::Marking produced;              ///< step-firing: produced within step
+  std::vector<TransitionId> order;      ///< policy-specific firing order
+  std::vector<TransitionId> fireable;   ///< kSingleRandom candidates
+  std::vector<TransitionId> fired;
+  std::vector<std::uint8_t> guard_value;    ///< per-cycle guard memo
+  std::vector<std::uint64_t> guard_epoch;
+  std::vector<std::uint64_t> consume_epoch;  ///< per-vertex dedup stamp
+  std::vector<VertexId> consume_list;
+  std::uint64_t epoch = 0;  ///< monotonic across cycles and runs
+};
+
+struct SimulatorState {
+  explicit SimulatorState(const dcf::System& sys)
+      : system(sys),
+        actions(compile_transition_actions(sys)),
+        all_transitions(sys.control().net().transitions()) {}
+
+  const dcf::System& system;
+  std::vector<TransitionActions> actions;  ///< static latch/consume tables
+  std::vector<TransitionId> all_transitions;
+  PlanCache plans;
+  SimScratch scratch;
+};
+
+SimResult run_compiled(SimulatorState& state, Environment& env,
+                       const SimOptions& options) {
+  const dcf::DataPath& dp = state.system.datapath();
+  const dcf::ControlNet& cn = state.system.control();
+  const petri::Net& net = cn.net();
+  const std::size_t places = net.place_count();
+  const std::size_t transitions = net.transition_count();
+  SimScratch& s = state.scratch;
+
+  state.plans.set_capacity(options.plan_cache_capacity);
+  const std::uint64_t hits0 = state.plans.hits();
+  const std::uint64_t misses0 = state.plans.misses();
+  const std::uint64_t evictions0 = state.plans.evictions();
+
+  SimResult result;
+
+  // Per-run (re)initialization; buffer capacity persists across runs.
+  if (s.port_value.size() == dp.port_count()) {
+    for (const std::uint32_t p : s.prev_written) {
+      s.port_value[p] = Value::undef();
+    }
+  } else {
+    s.port_value.assign(dp.port_count(), Value::undef());
+  }
+  s.prev_written.clear();
+  s.reg_state.assign(dp.port_count(), Value::undef());
+  s.arrival.assign(places, 0);
+  s.guard_value.assign(transitions, 0);
+  s.guard_epoch.assign(transitions, 0);
+  s.consume_epoch.assign(dp.vertex_count(), 0);
+  s.marking = petri::Marking::initial(net);
+  s.available = petri::Marking(places);
+  s.produced = petri::Marking(places);
+  for (PlaceId p : net.places()) {
+    if (net.initial_tokens(p) > 0) s.arrival[p.index()] = 1;
+  }
+
+  Rng rng(options.seed);
+  bool reported_unsafe = false;
+
+  for (std::uint64_t cycle = 0; cycle < options.max_cycles; ++cycle) {
+    // Rule 6 + safety in one token scan.
+    std::uint64_t total = 0;
+    bool safe = true;
+    for (std::size_t i = 0; i < places; ++i) {
+      const std::uint32_t tokens =
+          s.marking.tokens(PlaceId(static_cast<std::uint32_t>(i)));
+      total += tokens;
+      if (tokens > 1) safe = false;
+    }
+    if (total == 0) {
+      result.terminated = true;
+      break;
+    }
+    result.cycles = cycle + 1;
+    if (!safe && !reported_unsafe) {
+      result.violations.push_back("unsafe marking reached at cycle " +
+                                  std::to_string(cycle));
+      reported_unsafe = true;
+    }
+
+    // 1. Look up (or compile) this configuration's plan.
+    s.marking.marked_into(s.marked_bits);
+    ConfigPlan* plan = state.plans.find(s.marked_bits);
+    if (plan == nullptr) {
+      plan = &state.plans.insert(s.marked_bits,
+                                 compile_plan(state.system, s.marked_bits));
+    }
+    if (plan->combinational_loop) {
+      result.violations.push_back(
+          "active combinational loop during evaluation");
+      break;
+    }
+
+    // 2. Combinational replay (rules 7-10): reset last cycle's cone, run
+    // the schedule, then replay the static rule-10 conflicts.
+    for (const std::uint32_t p : s.prev_written) {
+      s.port_value[p] = Value::undef();
+    }
+    std::array<Value, 3> operands;
+    for (const EvalStep& step : plan->schedule) {
+      switch (step.kind) {
+        case EvalStep::Kind::kCopy:
+          s.port_value[step.dst] = s.port_value[step.src[0]];
+          break;
+        case EvalStep::Kind::kReg:
+          s.port_value[step.dst] = s.reg_state[step.dst];
+          break;
+        case EvalStep::Kind::kInput:
+          s.port_value[step.dst] = env.current(step.owner);
+          break;
+        case EvalStep::Kind::kConst:
+          s.port_value[step.dst] = Value(step.op.immediate);
+          break;
+        case EvalStep::Kind::kOp: {
+          for (std::uint8_t k = 0; k < step.arity; ++k) {
+            operands[k] = s.port_value[step.src[k]];
+          }
+          s.port_value[step.dst] = dcf::evaluate_op(
+              step.op, std::span<const Value>(operands.data(), step.arity));
+          break;
+        }
+      }
+    }
+    s.prev_written.assign(plan->written.begin(), plan->written.end());
+    for (const std::string& conflict : plan->drive_conflicts) {
+      result.violations.push_back(conflict);
+    }
+
+    // Per-cycle guard memo: steps 4 and 5 share one evaluation per
+    // transition (rule 4: OR over guard ports, ⊥ is not TRUE).
+    ++s.epoch;
+    auto guard_true = [&](TransitionId t) {
+      if (s.guard_epoch[t.index()] == s.epoch) {
+        return s.guard_value[t.index()] != 0;
+      }
+      const auto& guards = cn.guards(t);
+      bool value = guards.empty();
+      for (std::size_t g = 0; !value && g < guards.size(); ++g) {
+        value = s.port_value[guards[g].index()].truthy();
+      }
+      s.guard_epoch[t.index()] = s.epoch;
+      s.guard_value[t.index()] = value ? 1 : 0;
+      return value;
+    };
+
+    // 3. External events for arriving tenures (Def 3.4).
+    CycleRecord record;
+    record.cycle = cycle;
+    if (options.record_cycles) record.marked = plan->marked;
+    for (const PlannedEvent& e : plan->events) {
+      if (!s.arrival[e.controller.index()]) continue;
+      record.events.push_back(ExternalEvent{
+          e.arc, s.port_value[e.source_port], cycle, e.controller});
+    }
+
+    // 4. Guard-conflict monitor (Def 3.2 rule 3, dynamic side).
+    for (const ConflictCheck& check : plan->conflict_checks) {
+      int fireable_count = 0;
+      for (TransitionId t : check.candidates) {
+        if (guard_true(t)) ++fireable_count;
+      }
+      if (fireable_count > 1) {
+        result.violations.push_back("guard conflict at place " +
+                                    net.name(check.place) + " (cycle " +
+                                    std::to_string(cycle) + ")");
+      }
+    }
+
+    // 5. Fire (rules 3-5) under the selected policy. Candidates are the
+    // transitions whose preset is marked; the plan's mask filters the
+    // policy order in O(1) per transition.
+    s.fired.clear();
+    const std::vector<TransitionId>* order = &plan->candidates;
+    if (options.policy == FiringPolicy::kRandomOrder) {
+      s.order.assign(state.all_transitions.begin(),
+                     state.all_transitions.end());
+      for (std::size_t i = s.order.size(); i > 1; --i) {
+        std::swap(s.order[i - 1], s.order[rng.below(i)]);
+      }
+      order = &s.order;
+    } else if (options.policy == FiringPolicy::kSingleRandom) {
+      s.fireable.clear();
+      for (TransitionId t : plan->candidates) {
+        if (guard_true(t)) s.fireable.push_back(t);
+      }
+      s.order.clear();
+      if (!s.fireable.empty()) {
+        s.order.push_back(s.fireable[rng.below(s.fireable.size())]);
+      }
+      order = &s.order;
+    }
+    // Step semantics (as petri::fire_step_in_order): enabledness against
+    // the start marking minus in-step consumption; production becomes
+    // visible only after the step.
+    s.available = s.marking;
+    for (std::size_t i = 0; i < places; ++i) {
+      s.produced.set_tokens(PlaceId(static_cast<std::uint32_t>(i)), 0);
+    }
+    for (TransitionId t : *order) {
+      if (!plan->candidate_mask.test(t.index())) continue;
+      bool enabled = true;
+      for (PlaceId p : net.pre(t)) {
+        if (s.available.tokens(p) == 0) {
+          enabled = false;
+          break;
+        }
+      }
+      if (!enabled || !guard_true(t)) continue;
+      for (PlaceId p : net.pre(t)) s.available.remove_token(p);
+      for (PlaceId p : net.post(t)) s.produced.add_token(p);
+      s.fired.push_back(t);
+    }
+    for (std::size_t i = 0; i < places; ++i) {
+      const PlaceId p(static_cast<std::uint32_t>(i));
+      s.marking.set_tokens(p, s.available.tokens(p) + s.produced.tokens(p));
+    }
+    if (options.record_cycles) record.fired = s.fired;
+
+    // 6+7. Latch sequential outputs and advance environment streams when
+    // the controlling tenure ends (rule 9 / Def 3.5), via the static
+    // per-transition tables.
+    bool any_reg_changed = false;
+    s.consume_list.clear();
+    for (TransitionId t : s.fired) {
+      const TransitionActions& act = state.actions[t.index()];
+      for (VertexId v : act.consumes) {
+        if (s.consume_epoch[v.index()] != s.epoch) {
+          s.consume_epoch[v.index()] = s.epoch;
+          s.consume_list.push_back(v);
+        }
+      }
+      for (const auto& [target, reg_out] : act.latches) {
+        const Value value = s.port_value[target];
+        if (!value.defined()) continue;
+        if (s.reg_state[reg_out] != value) any_reg_changed = true;
+        s.reg_state[reg_out] = value;
+      }
+    }
+    for (VertexId v : s.consume_list) env.consume(v);
+
+    // 8. Next cycle's arrivals = post-sets of fired transitions.
+    std::fill(s.arrival.begin(), s.arrival.end(), 0);
+    for (TransitionId t : s.fired) {
+      for (PlaceId p : net.post(t)) s.arrival[p.index()] = 1;
+    }
+
+    if (options.record_registers) record.registers = s.reg_state;
+    if (options.record_cycles || !record.events.empty()) {
+      result.trace.cycles.push_back(std::move(record));
+    }
+
+    // Stuck detection: nothing fired, no register changed and no stream
+    // advanced — the configuration can never evolve again. (Tokens remain:
+    // total > 0 was established at the top of the cycle.)
+    if (s.fired.empty() && !any_reg_changed && s.consume_list.empty()) {
+      result.deadlocked = true;
+      break;
+    }
+  }
+
+  result.final_registers.assign(dp.vertex_count(), Value::undef());
+  for (VertexId v : dp.vertices()) {
+    for (PortId o : dp.output_ports(v)) {
+      if (dp.operation(o).code == OpCode::kReg) {
+        result.final_registers[v.index()] = s.reg_state[o.index()];
+        break;
+      }
+    }
+  }
+  result.stats.plan_cache_hits = state.plans.hits() - hits0;
+  result.stats.plan_cache_misses = state.plans.misses() - misses0;
+  result.stats.plan_cache_evictions = state.plans.evictions() - evictions0;
+  result.stats.plan_cache_size = state.plans.size();
+  return result;
+}
+
+}  // namespace
+
+struct Simulator::Impl {
+  explicit Impl(const dcf::System& system) : state(system) {}
+  SimulatorState state;
+};
+
+Simulator::Simulator(const dcf::System& system)
+    : impl_(std::make_unique<Impl>(system)) {}
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+SimResult Simulator::run(Environment& env, const SimOptions& options) {
+  if (options.engine == SimEngine::kReference) {
+    return simulate_reference(impl_->state.system, env, options);
+  }
+  return run_compiled(impl_->state, env, options);
+}
+
+SimResult simulate(const dcf::System& system, Environment& env,
+                   const SimOptions& options) {
+  if (options.engine == SimEngine::kReference) {
+    return simulate_reference(system, env, options);
+  }
+  SimulatorState state(system);
+  return run_compiled(state, env, options);
 }
 
 }  // namespace camad::sim

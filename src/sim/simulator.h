@@ -16,12 +16,22 @@
 //   7. the environment stream of every input vertex read this cycle
 //      advances.
 //
+// Two engines implement these rules (see docs/PERF.md):
+//   * kCompiled (default) — compiles each distinct marked-place set into
+//     a ConfigPlan (active-arc mask, cone-restricted evaluation schedule,
+//     event/guard/latch tables) and replays it with an allocation-free
+//     steady-state cycle loop;
+//   * kReference — the direct per-cycle transcription of the rules; the
+//     differential-testing baseline the compiled engine must match
+//     bit-for-bit (traces, violations, terminations, final registers).
+//
 // Firing policies exist to *test* the confluence claim behind Def 3.2:
 // for properly designed systems every policy must produce the same
 // external event structure; for improper ones they may diverge (E7).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +47,11 @@ enum class FiringPolicy : std::uint8_t {
   kSingleRandom,  ///< fire exactly one randomly chosen transition per cycle
 };
 
+enum class SimEngine : std::uint8_t {
+  kCompiled,   ///< configuration-plan engine (default)
+  kReference,  ///< naive per-cycle rule transcription (differential oracle)
+};
+
 struct SimOptions {
   std::uint64_t max_cycles = 100000;
   FiringPolicy policy = FiringPolicy::kMaximalStep;
@@ -46,6 +61,24 @@ struct SimOptions {
   /// Additionally record post-latch register state per cycle (indexed by
   /// output-port id); needed by the VCD waveform writer.
   bool record_registers = false;
+  /// Which executor to use; both are observationally identical.
+  SimEngine engine = SimEngine::kCompiled;
+  /// LRU bound on memoized configurations (compiled plans / evaluation
+  /// orders). 0 = unbounded. Reachable marked sets can be exponential in
+  /// |S| for pathological nets; the cap keeps memory flat.
+  std::size_t plan_cache_capacity = 1024;
+};
+
+/// Configuration-cache diagnostics for one run. Hit/miss splits depend on
+/// cache warmth when a Simulator (or batch worker) is reused across runs.
+struct SimStats {
+  std::uint64_t plan_cache_hits = 0;
+  /// Distinct configurations compiled (plan-cache misses) during the run.
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t plan_cache_evictions = 0;
+  std::uint64_t plan_cache_size = 0;  ///< resident entries after the run
+
+  friend bool operator==(const SimStats&, const SimStats&) = default;
 };
 
 struct SimResult {
@@ -59,11 +92,38 @@ struct SimResult {
   std::vector<std::string> violations;
   /// Final register states by vertex id (diagnostics).
   std::vector<dcf::Value> final_registers;
+  /// Engine diagnostics (not part of the observable semantics).
+  SimStats stats;
 };
 
 /// Runs the system against the environment. The environment is mutated
 /// (streams advance); rewind() it to reuse.
 SimResult simulate(const dcf::System& system, Environment& env,
                    const SimOptions& options = {});
+
+/// Reusable simulation engine bound to one system.
+///
+/// Compiled configuration plans and all cycle-loop scratch buffers persist
+/// across run() calls, so repeated simulation of the same system (the
+/// optimizer's inner loop, multi-seed sweeps) pays plan compilation only
+/// on the first visit of each configuration. Not thread-safe: use one
+/// Simulator per thread (simulate_batch in sim/batch.h does exactly that).
+/// The referenced system must outlive the Simulator and stay unmodified.
+class Simulator {
+ public:
+  explicit Simulator(const dcf::System& system);
+  ~Simulator();
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
+
+  /// Runs one simulation. Honors every SimOptions field, including
+  /// `engine` (kReference bypasses the plan cache) and
+  /// `plan_cache_capacity` (applied to the persistent cache).
+  SimResult run(Environment& env, const SimOptions& options = {});
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace camad::sim

@@ -91,4 +91,10 @@ class DynamicBitset {
   std::vector<Word> words_;
 };
 
+/// Hasher for using DynamicBitset as an unordered-container key (e.g. the
+/// simulator's marked-set → configuration-plan cache).
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const { return b.hash(); }
+};
+
 }  // namespace camad

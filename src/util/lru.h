@@ -1,0 +1,82 @@
+// Bounded least-recently-used cache.
+//
+// Used to cap the memoization tables of the simulator (configuration
+// plans, evaluation orders) whose key space — distinct reachable marked
+// sets — can be exponential in |S| for pathological nets. Entries live in
+// a std::list so values stay address-stable across insertions; the index
+// maps keys to list iterators. Capacity 0 means unbounded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace camad {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Looks up `key`, marking it most-recently-used. Returns nullptr on a
+  /// miss. The pointer stays valid until the entry is evicted.
+  Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->value;
+  }
+
+  /// Inserts a new entry (the key must be absent), evicting the least
+  /// recently used entry if the cache is at capacity. Returns a reference
+  /// valid until the entry is evicted.
+  Value& insert(const Key& key, Value value) {
+    entries_.push_front(Entry{key, std::move(value)});
+    index_.emplace(key, entries_.begin());
+    evict_to_capacity();
+    return entries_.front().value;
+  }
+
+  /// Changes the capacity, evicting immediately if the cache shrank.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    evict_to_capacity();
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  void evict_to_capacity() {
+    if (capacity_ == 0) return;
+    while (entries_.size() > capacity_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace camad

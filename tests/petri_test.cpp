@@ -97,6 +97,27 @@ TEST(Marking, InitialAndBasics) {
   EXPECT_EQ(m.total(), 3u);
 }
 
+TEST(Marking, MarkedIntoBitsetAndPlaces) {
+  const Net net = linear3();
+  Marking m = Marking::initial(net);
+  m.set_tokens(PlaceId(2), 3);
+  DynamicBitset bits;
+  m.marked_into(bits);
+  EXPECT_EQ(bits.size(), net.place_count());
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_TRUE(bits.test(2));  // support, not token count
+  // Reuse: previously-set bits must be cleared.
+  m.set_tokens(PlaceId(0), 0);
+  m.marked_into(bits);
+  EXPECT_FALSE(bits.test(0));
+  EXPECT_TRUE(bits.test(2));
+  std::vector<PlaceId> places{PlaceId(7)};  // stale content must vanish
+  m.marked_places_into(places);
+  EXPECT_EQ(places, (std::vector<PlaceId>{PlaceId(2)}));
+  EXPECT_EQ(places, m.marked_places());
+}
+
 TEST(Marking, EqualityAndHash) {
   const Net net = linear3();
   const Marking a = Marking::initial(net);

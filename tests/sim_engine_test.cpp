@@ -1,0 +1,276 @@
+// Differential and determinism tests for the compiled configuration-plan
+// engine (sim::SimEngine::kCompiled) against the reference per-cycle
+// transcription of Def 3.1 (sim::SimEngine::kReference).
+//
+// The compiled engine must be *bit-identical* to the reference on every
+// observable: cycle count, termination/deadlock flags, full trace
+// (markings, fired transitions, events, registers), final register
+// state, and violation messages — across every design, firing policy,
+// and seed. Only SimStats may differ (the reference engine has no plan
+// cache).
+
+#include <gtest/gtest.h>
+
+#include "dcf/builder.h"
+#include "fixtures.h"
+#include "sim/batch.h"
+#include "sim/simulator.h"
+#include "synth/compile.h"
+#include "synth/designs.h"
+
+namespace camad {
+namespace {
+
+using test::make_gcd;
+using test::make_two_lane;
+
+constexpr sim::FiringPolicy kPolicies[] = {
+    sim::FiringPolicy::kMaximalStep,
+    sim::FiringPolicy::kRandomOrder,
+    sim::FiringPolicy::kSingleRandom,
+};
+
+void expect_identical_traces(const sim::Trace& a, const sim::Trace& b) {
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t i = 0; i < a.cycles.size(); ++i) {
+    const sim::CycleRecord& ca = a.cycles[i];
+    const sim::CycleRecord& cb = b.cycles[i];
+    EXPECT_EQ(ca.cycle, cb.cycle) << "cycle index " << i;
+    EXPECT_EQ(ca.marked, cb.marked) << "cycle " << i;
+    EXPECT_EQ(ca.fired, cb.fired) << "cycle " << i;
+    EXPECT_EQ(ca.events, cb.events) << "cycle " << i;
+    EXPECT_EQ(ca.registers, cb.registers) << "cycle " << i;
+  }
+}
+
+/// Everything observable must match; stats are intentionally excluded
+/// (the reference engine has no plan cache, and cache warmth varies with
+/// engine reuse).
+void expect_identical_results(const sim::SimResult& a,
+                              const sim::SimResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.terminated, b.terminated);
+  EXPECT_EQ(a.deadlocked, b.deadlocked);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.final_registers, b.final_registers);
+  expect_identical_traces(a.trace, b.trace);
+}
+
+sim::SimResult run_engine(const dcf::System& sys, sim::SimEngine engine,
+                          sim::FiringPolicy policy, std::uint64_t seed) {
+  sim::Environment env = sim::Environment::random_for(sys, seed, 48, 1, 20);
+  sim::SimOptions options;
+  options.engine = engine;
+  options.policy = policy;
+  options.seed = seed;
+  options.record_cycles = true;
+  options.record_registers = true;
+  return sim::simulate(sys, env, options);
+}
+
+// ---------------------------------------------------------------------
+// Differential: compiled == reference on the whole design corpus.
+
+TEST(SimEngineDifferential, AllDesignsAllPoliciesAllSeeds) {
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    const dcf::System sys = synth::compile_source(std::string(d.source));
+    for (const sim::FiringPolicy policy : kPolicies) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        SCOPED_TRACE(std::string(d.name) + " policy=" +
+                     std::to_string(static_cast<int>(policy)) + " seed=" +
+                     std::to_string(seed));
+        const sim::SimResult compiled =
+            run_engine(sys, sim::SimEngine::kCompiled, policy, seed);
+        const sim::SimResult reference =
+            run_engine(sys, sim::SimEngine::kReference, policy, seed);
+        expect_identical_results(compiled, reference);
+      }
+    }
+  }
+}
+
+TEST(SimEngineDifferential, HandBuiltFixtures) {
+  for (const dcf::System& sys : {make_gcd(), make_two_lane()}) {
+    for (const sim::FiringPolicy policy : kPolicies) {
+      SCOPED_TRACE(sys.name());
+      expect_identical_results(
+          run_engine(sys, sim::SimEngine::kCompiled, policy, 7),
+          run_engine(sys, sim::SimEngine::kReference, policy, 7));
+    }
+  }
+}
+
+// Free-choice conflict: two unguarded transitions compete for one place.
+// Exercises the guard-conflict violation path and policy divergence.
+dcf::System improper_design() {
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto o = b.output("o");
+  const auto r = b.reg("r");
+  const auto c1 = b.constant("c1", 111);
+  const auto c2 = b.constant("c2", 222);
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  b.connect(x, r, 0, {s0});
+  b.connect(c1, r, 0, {s1});
+  b.connect(c2, r, 0, {s2});
+  b.chain(s0, s1, "Ta");
+  b.chain(s0, s2, "Tb");
+  const auto arc = b.arc(b.out(r), b.in(o));
+  b.control(s1, arc);
+  b.control(s2, arc);
+  return b.build("improper");
+}
+
+// Two states simultaneously driving the same input port: exercises the
+// rule-10 drive-conflict violation path (identical messages, identical
+// order, identical winner).
+dcf::System multi_driver_design() {
+  dcf::SystemBuilder b;
+  const auto c1 = b.constant("c1", 5);
+  const auto c2 = b.constant("c2", 9);
+  const auto r = b.reg("r");
+  const auto o = b.output("o");
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1", true);  // both marked at t=0
+  const auto s2 = b.state("S2");
+  b.connect(c1, r, 0, {s0});
+  b.connect(c2, r, 0, {s1});  // conflict: both drive r.in[0]
+  b.chain(s0, s2, "Ta");
+  const auto arc = b.arc(b.out(r), b.in(o));
+  b.control(s2, arc);
+  return b.build("multidriver");
+}
+
+TEST(SimEngineDifferential, ViolationPathsMatch) {
+  for (const dcf::System& sys : {improper_design(), multi_driver_design()}) {
+    for (const sim::FiringPolicy policy : kPolicies) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        SCOPED_TRACE(sys.name() + " seed=" + std::to_string(seed));
+        const sim::SimResult compiled =
+            run_engine(sys, sim::SimEngine::kCompiled, policy, seed);
+        const sim::SimResult reference =
+            run_engine(sys, sim::SimEngine::kReference, policy, seed);
+        expect_identical_results(compiled, reference);
+      }
+    }
+  }
+  // Sanity: those designs actually exercise the violation paths.
+  const sim::SimResult r = run_engine(
+      multi_driver_design(), sim::SimEngine::kCompiled,
+      sim::FiringPolicy::kMaximalStep, 1);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().find("driven by"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Determinism.
+
+TEST(SimEngineDeterminism, ReplaySameSeedIsIdentical) {
+  const dcf::System sys = make_gcd();
+  for (const sim::FiringPolicy policy : kPolicies) {
+    const sim::SimResult a =
+        run_engine(sys, sim::SimEngine::kCompiled, policy, 42);
+    const sim::SimResult b =
+        run_engine(sys, sim::SimEngine::kCompiled, policy, 42);
+    expect_identical_results(a, b);
+    // Fresh simulate() calls start from a cold cache both times, so even
+    // the stats must replay exactly.
+    EXPECT_EQ(a.stats, b.stats);
+  }
+}
+
+TEST(SimEngineDeterminism, BatchMatchesSequential) {
+  const dcf::System sys = make_gcd();
+  sim::SimOptions options;
+  options.policy = sim::FiringPolicy::kSingleRandom;
+  options.record_registers = true;
+
+  const std::size_t kRuns = 8;
+  auto make_runs = [&] {
+    std::vector<sim::BatchRun> runs;
+    for (std::size_t k = 0; k < kRuns; ++k) {
+      sim::BatchRun job;
+      job.environment =
+          sim::Environment::random_for(sys, 100 + k, 32, 1, 30);
+      job.options = options;
+      job.options.seed = 100 + k;
+      runs.push_back(std::move(job));
+    }
+    return runs;
+  };
+
+  // Sequential oracle: plain simulate() per run.
+  std::vector<sim::SimResult> sequential;
+  {
+    std::vector<sim::BatchRun> runs = make_runs();
+    for (sim::BatchRun& job : runs) {
+      sequential.push_back(sim::simulate(sys, job.environment, job.options));
+    }
+  }
+  // Parallel batch, twice (replay must also be deterministic).
+  for (int round = 0; round < 2; ++round) {
+    std::vector<sim::BatchRun> runs = make_runs();
+    const std::vector<sim::SimResult> batched =
+        sim::simulate_batch(sys, runs, 4);
+    ASSERT_EQ(batched.size(), sequential.size());
+    for (std::size_t k = 0; k < kRuns; ++k) {
+      SCOPED_TRACE("round=" + std::to_string(round) + " run=" +
+                   std::to_string(k));
+      expect_identical_results(batched[k], sequential[k]);
+    }
+  }
+}
+
+TEST(SimEngineDeterminism, BatchSeedsSweep) {
+  const dcf::System sys =
+      synth::compile_source(std::string(synth::all_designs()[0].source));
+  const auto a = sim::simulate_batch_seeds(sys, 1, 6, 32, {}, 3, 1, 20);
+  const auto b = sim::simulate_batch_seeds(sys, 1, 6, 32, {}, 1, 1, 20);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    expect_identical_results(a[k], b[k]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Plan cache behaviour.
+
+TEST(SimEnginePlanCache, LruCapBoundsResidencyWithoutChangingObservables) {
+  const dcf::System sys = make_gcd();
+  sim::Environment env = sim::Environment::random_for(sys, 3, 48, 1, 30);
+  sim::SimOptions unbounded;
+  unbounded.plan_cache_capacity = 0;
+  const sim::SimResult full = sim::simulate(sys, env, unbounded);
+  ASSERT_GT(full.stats.plan_cache_misses, 2u);
+  EXPECT_EQ(full.stats.plan_cache_evictions, 0u);
+
+  env.rewind();
+  sim::SimOptions capped = unbounded;
+  capped.plan_cache_capacity = 2;
+  const sim::SimResult small = sim::simulate(sys, env, capped);
+  EXPECT_GT(small.stats.plan_cache_evictions, 0u);
+  EXPECT_LE(small.stats.plan_cache_size, 2u);
+  expect_identical_results(full, small);
+}
+
+TEST(SimEnginePlanCache, PersistentSimulatorReusesPlans) {
+  const dcf::System sys = make_gcd();
+  sim::Simulator simulator(sys);
+  sim::Environment env = sim::Environment::random_for(sys, 5, 48, 1, 30);
+  const sim::SimResult first = simulator.run(env);
+  EXPECT_GT(first.stats.plan_cache_misses, 0u);
+  EXPECT_EQ(first.stats.plan_cache_hits + first.stats.plan_cache_misses,
+            first.cycles);
+
+  env.rewind();
+  const sim::SimResult second = simulator.run(env);
+  // Every configuration was compiled by the first run.
+  EXPECT_EQ(second.stats.plan_cache_misses, 0u);
+  EXPECT_EQ(second.stats.plan_cache_hits, second.cycles);
+  expect_identical_results(first, second);
+}
+
+}  // namespace
+}  // namespace camad

@@ -7,6 +7,7 @@
 #include "util/dot.h"
 #include "util/error.h"
 #include "util/ids.h"
+#include "util/lru.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -262,6 +263,43 @@ TEST(Dot, FinishTwiceThrows) {
 TEST(Dot, UnbalancedClusterThrows) {
   DotWriter dot("g");
   EXPECT_THROW(dot.end_cluster(), Error);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsedAndCounts) {
+  LruCache<int, std::string> cache(2);
+  cache.insert(1, "one");
+  cache.insert(2, "two");
+  EXPECT_EQ(cache.find(9), nullptr);     // absent key: a miss
+  ASSERT_NE(cache.find(1), nullptr);     // touch 1 → 2 becomes LRU
+  cache.insert(3, "three");  // evicts 2 (LRU), not the just-touched 1
+  EXPECT_EQ(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(*cache.find(3), "three");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(Lru, ZeroCapacityIsUnbounded) {
+  LruCache<int, int> cache(0);
+  for (int i = 0; i < 100; ++i) cache.insert(i, i * i);
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  ASSERT_NE(cache.find(0), nullptr);
+  EXPECT_EQ(*cache.find(99), 99 * 99);
+}
+
+TEST(Lru, ShrinkingCapacityEvictsImmediately) {
+  LruCache<int, int> cache(0);
+  for (int i = 0; i < 8; ++i) cache.insert(i, i);
+  cache.find(0);  // make 0 most-recent
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.find(0), nullptr);
+  ASSERT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(cache.find(3), nullptr);
 }
 
 }  // namespace
