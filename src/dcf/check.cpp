@@ -16,24 +16,42 @@ namespace {
 using petri::PlaceId;
 using petri::TransitionId;
 
-void check_parallel_disjoint(const System& system, const CheckOptions& options,
+/// Human-readable arc rendering: "src_vertex.oK -> dst_vertex.iK". Arc
+/// ids are rebuilt by every transformation, so diagnostics name the
+/// endpoints instead.
+std::string arc_label(const DataPath& dp, ArcId a) {
+  return dp.name(dp.arc_source(a)) + " -> " + dp.name(dp.arc_target(a));
+}
+
+/// The ∥ relation rules 1 and 4 quantify over: structural (Def 2.3) by
+/// default, reachability-refined when requested.
+class ParallelRelation {
+ public:
+  ParallelRelation(const petri::Net& net, const CheckOptions& options)
+      : n_(net.place_count()) {
+    if (options.use_reachable_concurrency) {
+      reachable_conc_ = petri::concurrent_places(net, options.reachability);
+    } else {
+      order_ = std::make_unique<petri::OrderRelations>(net);
+    }
+  }
+
+  [[nodiscard]] bool operator()(PlaceId a, PlaceId b) const {
+    if (order_ != nullptr) return order_->parallel(a, b);
+    return reachable_conc_[a.index() * n_ + b.index()];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<bool> reachable_conc_;
+  std::unique_ptr<petri::OrderRelations> order_;
+};
+
+void check_parallel_disjoint(const System& system,
+                             const ParallelRelation& parallel,
                              CheckReport& report) {
   const auto& net = system.control().net();
   const std::size_t n = net.place_count();
-
-  std::vector<bool> reachable_conc;
-  std::unique_ptr<petri::OrderRelations> order;
-  if (options.use_reachable_concurrency) {
-    reachable_conc = petri::concurrent_places(net, options.reachability);
-  } else {
-    order = std::make_unique<petri::OrderRelations>(net);
-  }
-  auto parallel = [&](PlaceId a, PlaceId b) {
-    if (options.use_reachable_concurrency) {
-      return static_cast<bool>(reachable_conc[a.index() * n + b.index()]);
-    }
-    return order->parallel(a, b);
-  };
 
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -49,8 +67,8 @@ void check_parallel_disjoint(const System& system, const CheckOptions& options,
           report.violations.push_back(
               {Rule::kParallelDisjoint,
                "states " + net.name(si) + " and " + net.name(sj) +
-                   " are parallel but both control arc #" +
-                   std::to_string(a.value())});
+                   " are parallel but both control arc " +
+                   arc_label(system.datapath(), a)});
         }
       }
       const auto verts_i = system.associated_vertices(si);
@@ -183,52 +201,95 @@ void check_conflict_free(const System& system, CheckReport& report) {
   }
 }
 
-void check_no_comb_loop(const System& system, CheckReport& report) {
+void check_no_comb_loop(const System& system,
+                        const ParallelRelation& parallel,
+                        CheckReport& report) {
   const DataPath& dp = system.datapath();
   const auto& net = system.control().net();
-  for (PlaceId s : net.places()) {
-    // Port-level digraph: one node per port; controlled arcs connect
-    // out->in across vertices; COM operations connect in->out inside one.
+
+  // Internal in->out edges of COM operations, shared by every
+  // configuration graph (registers break loops and contribute none).
+  std::vector<std::pair<PortId, PortId>> com_edges;
+  for (VertexId v : dp.vertices()) {
+    for (PortId o : dp.output_ports(v)) {
+      const Operation& op = dp.operation(o);
+      if (op_is_sequential(op.code)) continue;
+      const int arity = op_arity(op.code);
+      const auto& ins = dp.input_ports(v);
+      for (int k = 0; k < arity; ++k) {
+        com_edges.emplace_back(ins[static_cast<std::size_t>(k)], o);
+      }
+    }
+  }
+
+  // Port-level digraph for one set of simultaneously active states:
+  // controlled arcs connect out->in across vertices; COM operations
+  // connect in->out inside one. Returns the name of a port on an active
+  // cycle, or empty.
+  auto active_loop_port =
+      [&](std::initializer_list<PlaceId> states) -> std::string {
     graph::Digraph g(dp.port_count());
     std::vector<bool> port_active(dp.port_count(), false);
-    for (ArcId a : system.control().controlled_arcs(s)) {
-      g.add_edge(graph::NodeId(dp.arc_source(a).value()),
-                 graph::NodeId(dp.arc_target(a).value()));
-      port_active[dp.arc_source(a).index()] = true;
-      port_active[dp.arc_target(a).index()] = true;
-    }
-    for (VertexId v : dp.vertices()) {
-      for (PortId o : dp.output_ports(v)) {
-        const Operation& op = dp.operation(o);
-        if (op_is_sequential(op.code)) continue;  // registers break loops
-        const int arity = op_arity(op.code);
-        const auto& ins = dp.input_ports(v);
-        for (int k = 0; k < arity; ++k) {
-          g.add_edge(graph::NodeId(ins[static_cast<std::size_t>(k)].value()),
-                     graph::NodeId(o.value()));
-        }
+    for (PlaceId s : states) {
+      for (ArcId a : system.control().controlled_arcs(s)) {
+        g.add_edge(graph::NodeId(dp.arc_source(a).value()),
+                   graph::NodeId(dp.arc_target(a).value()));
+        port_active[dp.arc_source(a).index()] = true;
+        port_active[dp.arc_target(a).index()] = true;
       }
     }
-    // A loop is only *active* under S if it passes through a controlled
-    // arc; internal in->out edges alone cannot form a cycle (ports are
-    // distinct). Detect cycles among nodes reachable from active ports.
-    if (graph::has_cycle(g)) {
-      // Refine: does a cycle touch an active port? (has_cycle is global.)
-      const auto scc = graph::strongly_connected_components(g);
-      std::vector<std::size_t> size(scc.count, 0);
-      for (std::size_t node = 0; node < dp.port_count(); ++node) {
-        ++size[scc.component[node]];
+    for (const auto& [in, out] : com_edges) {
+      g.add_edge(graph::NodeId(in.value()), graph::NodeId(out.value()));
+    }
+    // A loop is only *active* if it passes through a controlled arc;
+    // internal in->out edges alone cannot form a cycle (ports are
+    // distinct). Detect cycles among nodes touching active ports.
+    if (!graph::has_cycle(g)) return {};
+    const auto scc = graph::strongly_connected_components(g);
+    std::vector<std::size_t> size(scc.count, 0);
+    for (std::size_t node = 0; node < dp.port_count(); ++node) {
+      ++size[scc.component[node]];
+    }
+    for (std::size_t node = 0; node < dp.port_count(); ++node) {
+      if (size[scc.component[node]] > 1 && port_active[node]) {
+        return dp.name(PortId(static_cast<PortId::underlying_type>(node)));
       }
-      for (std::size_t node = 0; node < dp.port_count(); ++node) {
-        if (size[scc.component[node]] > 1 && port_active[node]) {
-          report.violations.push_back(
-              {Rule::kNoCombLoop,
-               "state " + net.name(s) +
-                   " activates a combinatorial loop through port " +
-                   dp.name(PortId(static_cast<PortId::underlying_type>(
-                       node)))});
-          break;
-        }
+    }
+    return {};
+  };
+
+  const std::size_t n = net.place_count();
+  std::vector<bool> loops_alone(n, false);
+  for (PlaceId s : net.places()) {
+    const std::string port = active_loop_port({s});
+    if (!port.empty()) {
+      loops_alone[s.index()] = true;
+      report.violations.push_back(
+          {Rule::kNoCombLoop, "state " + net.name(s) +
+                                  " activates a combinatorial loop "
+                                  "through port " +
+                                  port});
+    }
+  }
+
+  // A configuration is the union of all marked states' arc sets (Def
+  // 3.2), so a loop may close only when parallel states are active
+  // together. Pairs are an under-approximation of full configurations but
+  // catch the split-loop case; skip pairs where a state is already
+  // looping alone.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const PlaceId si(static_cast<PlaceId::underlying_type>(i));
+      const PlaceId sj(static_cast<PlaceId::underlying_type>(j));
+      if (!parallel(si, sj)) continue;
+      if (loops_alone[i] || loops_alone[j]) continue;
+      const std::string port = active_loop_port({si, sj});
+      if (!port.empty()) {
+        report.violations.push_back(
+            {Rule::kNoCombLoop,
+             "parallel states " + net.name(si) + " and " + net.name(sj) +
+                 " jointly activate a combinatorial loop through port " +
+                 port});
       }
     }
   }
@@ -289,10 +350,11 @@ CheckReport check_properly_designed(const System& system,
                                     const CheckOptions& options) {
   system.validate();
   CheckReport report;
-  check_parallel_disjoint(system, options, report);
+  const ParallelRelation parallel(system.control().net(), options);
+  check_parallel_disjoint(system, parallel, report);
   check_safety(system, options, report);
   check_conflict_free(system, report);
-  check_no_comb_loop(system, report);
+  check_no_comb_loop(system, parallel, report);
   check_sequential_result(system, options, report);
   return report;
 }

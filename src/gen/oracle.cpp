@@ -1,0 +1,423 @@
+#include "gen/oracle.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "dcf/check.h"
+#include "dcf/io.h"
+#include "gen/shrink.h"
+#include "semantics/equivalence.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "synth/ast.h"
+#include "synth/compile.h"
+#include "synth/fold.h"
+#include "synth/parser.h"
+#include "transform/chain.h"
+#include "transform/cleanup.h"
+#include "transform/merge.h"
+#include "transform/parallelize.h"
+#include "transform/regshare.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace camad::gen {
+namespace {
+
+/// A battery stage failed: abort the seed with (stage, detail).
+struct StageFailure {
+  std::string stage;
+  std::string detail;
+};
+
+std::string describe(const std::exception& e) { return e.what(); }
+
+// --- engine differential ----------------------------------------------------
+
+std::string compare_results(const sim::SimResult& ref,
+                            const sim::SimResult& com) {
+  std::ostringstream os;
+  if (ref.cycles != com.cycles) {
+    os << "cycles " << ref.cycles << " vs " << com.cycles;
+    return os.str();
+  }
+  if (ref.terminated != com.terminated || ref.deadlocked != com.deadlocked) {
+    os << "terminated/deadlocked " << ref.terminated << "/" << ref.deadlocked
+       << " vs " << com.terminated << "/" << com.deadlocked;
+    return os.str();
+  }
+  if (ref.violations != com.violations) {
+    return "runtime violation lists differ";
+  }
+  if (ref.final_registers != com.final_registers) {
+    return "final register states differ";
+  }
+  if (ref.trace.cycles.size() != com.trace.cycles.size()) {
+    return "trace lengths differ";
+  }
+  for (std::size_t i = 0; i < ref.trace.cycles.size(); ++i) {
+    const sim::CycleRecord& a = ref.trace.cycles[i];
+    const sim::CycleRecord& b = com.trace.cycles[i];
+    if (a.cycle != b.cycle || a.marked != b.marked || a.fired != b.fired ||
+        a.events != b.events || a.registers != b.registers) {
+      os << "trace diverges at cycle " << a.cycle;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+/// kReference vs kCompiled must be bit-identical under every policy.
+void engine_differential(const dcf::System& system, std::uint64_t seed,
+                         const OracleOptions& opt) {
+  const sim::FiringPolicy policies[] = {sim::FiringPolicy::kMaximalStep,
+                                        sim::FiringPolicy::kRandomOrder};
+  for (std::size_t e = 0; e < opt.environments; ++e) {
+    for (const sim::FiringPolicy policy : policies) {
+      sim::Environment env = sim::Environment::random_for(
+          system, seed * 1315423911ULL + e, opt.stream_length, 0, 99);
+      sim::SimOptions so;
+      so.max_cycles = opt.max_cycles;
+      so.policy = policy;
+      so.seed = seed + e;
+      so.record_registers = true;
+
+      so.engine = sim::SimEngine::kReference;
+      const sim::SimResult ref = sim::simulate(system, env, so);
+      env.rewind();
+      so.engine = sim::SimEngine::kCompiled;
+      const sim::SimResult com = sim::simulate(system, env, so);
+
+      const std::string diff = compare_results(ref, com);
+      if (!diff.empty()) {
+        throw StageFailure{"engines", "env " + std::to_string(e) +
+                                          " policy " +
+                                          std::to_string(static_cast<int>(
+                                              policy)) +
+                                          ": " + diff};
+      }
+    }
+  }
+}
+
+// --- transformation chain ---------------------------------------------------
+
+struct Pass {
+  const char* name;
+  dcf::System (*apply)(const dcf::System&);
+};
+
+const Pass kPasses[] = {
+    {"parallelize",
+     [](const dcf::System& s) { return transform::parallelize(s); }},
+    {"merge_all",
+     [](const dcf::System& s) { return transform::merge_all(s); }},
+    {"share_registers",
+     [](const dcf::System& s) { return transform::share_registers(s); }},
+    {"chain_states",
+     [](const dcf::System& s) { return transform::chain_states(s); }},
+    {"cleanup_control",
+     [](const dcf::System& s) { return transform::cleanup_control(s); }},
+};
+
+semantics::DifferentialOptions differential_options(
+    std::uint64_t seed, const OracleOptions& opt) {
+  semantics::DifferentialOptions d;
+  d.environments = opt.environments;
+  d.seed = seed * 2654435761ULL + 17;
+  d.stream_length = opt.stream_length;
+  d.sim.max_cycles = opt.max_cycles;
+  return d;
+}
+
+/// Applies a seed-derived chain of passes; after every pass the checker
+/// must stay green and the result must stay observationally equivalent
+/// to the *untransformed* system.
+void transform_chain(const dcf::System& original, std::uint64_t seed,
+                     const OracleOptions& opt) {
+  if (opt.max_transform_steps == 0) return;
+  Rng rng(seed ^ 0x7472616e73666fULL);
+  const std::size_t steps = 1 + rng.below(opt.max_transform_steps);
+  dcf::System current = original;
+  std::string chain;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Pass& pass = kPasses[rng.below(std::size(kPasses))];
+    chain += (chain.empty() ? "" : " -> ") + std::string(pass.name);
+    try {
+      current = pass.apply(current);
+    } catch (const Error& e) {
+      throw StageFailure{"transforms", chain + " threw: " + describe(e)};
+    }
+    const dcf::CheckReport report = dcf::check_properly_designed(current);
+    if (!report.ok()) {
+      throw StageFailure{"transforms",
+                         chain + " broke the checker: " + report.to_string()};
+    }
+    const semantics::EquivalenceVerdict verdict =
+        semantics::differential_equivalence(
+            original, current, differential_options(seed + i, opt));
+    if (!verdict.holds) {
+      throw StageFailure{"transforms",
+                         chain + " changed observable behaviour: " +
+                             verdict.why};
+    }
+  }
+}
+
+// --- per-level batteries ----------------------------------------------------
+
+void run_system_battery(const dcf::System& system, std::uint64_t seed,
+                        const OracleOptions& opt, bool io_stage) {
+  const dcf::CheckReport report = dcf::check_properly_designed(system);
+  if (!report.ok()) {
+    throw StageFailure{"check", report.to_string()};
+  }
+  engine_differential(system, seed, opt);
+  transform_chain(system, seed, opt);
+  if (io_stage && opt.check_io) {
+    std::string text;
+    try {
+      text = dcf::save_system(system);
+      const dcf::System loaded = dcf::load_system(text);
+      if (dcf::save_system(loaded) != text) {
+        throw StageFailure{"io", "re-serialization is not a fixpoint"};
+      }
+      const semantics::EquivalenceVerdict verdict =
+          semantics::differential_equivalence(
+              system, loaded, differential_options(seed, opt));
+      if (!verdict.holds) {
+        throw StageFailure{"io", "loaded system diverges: " + verdict.why};
+      }
+    } catch (const Error& e) {
+      throw StageFailure{"io", describe(e)};
+    }
+  }
+}
+
+void run_program_battery(const synth::Program& program, std::uint64_t seed,
+                         const OracleOptions& opt) {
+  std::string source;
+  dcf::System system = [&] {
+    try {
+      source = synth::to_source(program);
+      return synth::compile(program);
+    } catch (const Error& e) {
+      throw StageFailure{"compile", describe(e)};
+    }
+  }();
+
+  if (opt.check_roundtrip) {
+    try {
+      const synth::Program reparsed = synth::parse_program(source);
+      if (synth::to_source(reparsed) != source) {
+        throw StageFailure{"roundtrip", "print -> parse -> print moved"};
+      }
+      (void)synth::compile(reparsed);
+    } catch (const Error& e) {
+      throw StageFailure{"roundtrip", describe(e)};
+    }
+  }
+
+  run_system_battery(system, seed, opt, /*io_stage=*/false);
+
+  if (opt.check_fold) {
+    try {
+      synth::Program folded = clone_program(program);
+      (void)synth::fold_constants(folded);
+      const dcf::System folded_system = synth::compile(folded);
+      const semantics::EquivalenceVerdict verdict =
+          semantics::differential_equivalence(
+              system, folded_system, differential_options(seed, opt));
+      if (!verdict.holds) {
+        throw StageFailure{"fold",
+                           "folded program diverges: " + verdict.why};
+      }
+    } catch (const Error& e) {
+      throw StageFailure{"fold", describe(e)};
+    }
+  }
+}
+
+OracleOutcome outcome_for(std::uint64_t seed, OracleLevel level) {
+  OracleOutcome out;
+  out.seed = seed;
+  out.level = level;
+  return out;
+}
+
+}  // namespace
+
+std::string_view level_name(OracleLevel level) {
+  return level == OracleLevel::kProgram ? "program" : "system";
+}
+
+std::string OracleOutcome::to_string() const {
+  std::ostringstream os;
+  os << "seed " << seed << " [" << level_name(level) << "] ";
+  if (ok) {
+    os << "ok";
+  } else {
+    os << "FAILED at " << stage << ": " << detail;
+    if (!artifact.empty()) os << "\n--- shrunk artifact ---\n" << artifact;
+  }
+  return os.str();
+}
+
+std::string OracleOutcome::corpus_line() const {
+  std::ostringstream os;
+  os << level_name(level) << ' ' << seed;
+  if (!ok) {
+    os << "  # " << stage;
+    const std::string first = detail.substr(0, detail.find('\n'));
+    if (!first.empty()) os << ": " << first;
+  }
+  return os.str();
+}
+
+OracleOutcome run_program_oracle(const synth::Program& program,
+                                 std::uint64_t seed,
+                                 const OracleOptions& options) {
+  OracleOutcome out = outcome_for(seed, OracleLevel::kProgram);
+  try {
+    run_program_battery(program, seed, options);
+  } catch (const StageFailure& f) {
+    out.ok = false;
+    out.stage = f.stage;
+    out.detail = f.detail;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.stage = "unexpected";
+    out.detail = describe(e);
+  }
+  return out;
+}
+
+OracleOutcome run_plan_oracle(const SysPlan& plan, std::uint64_t seed,
+                              const OracleOptions& options) {
+  OracleOutcome out = outcome_for(seed, OracleLevel::kSystem);
+  try {
+    const dcf::System system = [&] {
+      try {
+        return build_system(plan, options.system,
+                            "gensys_" + std::to_string(seed));
+      } catch (const Error& e) {
+        throw StageFailure{"build", describe(e)};
+      }
+    }();
+    run_system_battery(system, seed, options, /*io_stage=*/true);
+  } catch (const StageFailure& f) {
+    out.ok = false;
+    out.stage = f.stage;
+    out.detail = f.detail;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.stage = "unexpected";
+    out.detail = describe(e);
+  }
+  return out;
+}
+
+OracleOutcome run_seed(std::uint64_t seed, OracleLevel level,
+                       const OracleOptions& options) {
+  if (level == OracleLevel::kProgram) {
+    const synth::Program program = random_program(seed, options.program);
+    OracleOutcome out = run_program_oracle(program, seed, options);
+    out.artifact = synth::to_source(program);
+    if (!out.ok && options.shrink_failures) {
+      const std::string stage = out.stage;
+      const synth::Program shrunk = shrink_program(
+          program,
+          [&](const synth::Program& candidate) {
+            const OracleOutcome o =
+                run_program_oracle(candidate, seed, options);
+            return !o.ok && o.stage == stage;
+          },
+          options.max_shrink_attempts);
+      out = run_program_oracle(shrunk, seed, options);
+      out.artifact = synth::to_source(shrunk);
+    }
+    return out;
+  }
+
+  Rng rng(seed);
+  const SysPlan plan = random_plan(rng, options.system);
+  OracleOutcome out = run_plan_oracle(plan, seed, options);
+  out.artifact = plan_to_string(plan);
+  if (!out.ok && options.shrink_failures) {
+    const std::string stage = out.stage;
+    const SysPlan shrunk = shrink_plan(
+        plan,
+        [&](const SysPlan& candidate) {
+          const OracleOutcome o = run_plan_oracle(candidate, seed, options);
+          return !o.ok && o.stage == stage;
+        },
+        options.max_shrink_attempts);
+    out = run_plan_oracle(shrunk, seed, options);
+    out.artifact = plan_to_string(shrunk);
+  }
+  return out;
+}
+
+std::vector<OracleOutcome> run_seed_range(std::uint64_t first,
+                                          std::size_t count,
+                                          const OracleOptions& options) {
+  std::vector<OracleOutcome> failures;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const OracleLevel level :
+         {OracleLevel::kProgram, OracleLevel::kSystem}) {
+      OracleOutcome out = run_seed(first + i, level, options);
+      if (!out.ok) failures.push_back(std::move(out));
+    }
+  }
+  return failures;
+}
+
+std::vector<CorpusEntry> parse_corpus(const std::string& text) {
+  std::vector<CorpusEntry> out;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line.substr(start));
+    std::string level_word;
+    std::uint64_t seed = 0;
+    if (!(fields >> level_word >> seed)) {
+      throw ModelError("corpus line " + std::to_string(lineno) +
+                       ": expected '<level> <seed>', got '" + line + "'");
+    }
+    CorpusEntry entry;
+    if (level_word == "program") {
+      entry.level = OracleLevel::kProgram;
+    } else if (level_word == "system") {
+      entry.level = OracleLevel::kSystem;
+    } else {
+      throw ModelError("corpus line " + std::to_string(lineno) +
+                       ": unknown level '" + level_word + "'");
+    }
+    entry.seed = seed;
+    std::string rest;
+    std::getline(fields, rest);
+    const std::size_t hash = rest.find('#');
+    if (hash != std::string::npos) {
+      const std::size_t note = rest.find_first_not_of(" \t", hash + 1);
+      if (note != std::string::npos) entry.note = rest.substr(note);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> load_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read corpus file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_corpus(buffer.str());
+}
+
+}  // namespace camad::gen

@@ -1,0 +1,123 @@
+// Metamorphic transformation oracles over generated systems.
+//
+// For each seed, the harness draws a properly-designed-by-construction
+// input (a BDL program or a DCF plan), materializes the System, and runs
+// a fixed battery of oracles, each of which must hold for *every*
+// generated input:
+//
+//   roundtrip   (program level) pretty-print -> parse -> re-print is a
+//               fixpoint, and the reparsed program compiles;
+//   check       check_properly_designed reports no violations;
+//   engines     SimEngine::kReference and SimEngine::kCompiled produce
+//               bit-identical results (trace, termination, violations,
+//               final registers) under identical environments — PR 1's
+//               differential contract, quantified over generated systems;
+//   transforms  a seed-derived random chain of semantics-preserving
+//               passes (parallelize, merge_all, share_registers,
+//               chain_states, cleanup_control) keeps the checker green at
+//               every step and preserves the external event structure
+//               (semantics::differential_equivalence against the
+//               untransformed system);
+//   fold        (program level) compiling the constant-folded program is
+//               observationally equivalent to compiling the original;
+//   io          (system level) save_system -> load_system round-trips to
+//               an equivalent, re-serialization-stable system.
+//
+// A failing seed is minimized with gen/shrink.h under a predicate that
+// reruns the battery and demands the *same stage* fail, then reported
+// with a ready-to-check-in corpus line and a human-readable artifact
+// (shrunk BDL source / plan s-expression).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/program.h"
+#include "gen/sysgen.h"
+
+namespace camad::gen {
+
+enum class OracleLevel : std::uint8_t {
+  kProgram,  ///< BDL generator -> synth::compile front door
+  kSystem,   ///< SysPlan generator -> dcf::SystemBuilder back door
+};
+
+std::string_view level_name(OracleLevel level);
+
+struct OracleOptions {
+  ProgramGenOptions program;
+  SystemGenOptions system;
+  /// Environments / stream length / cycle bound for every simulation the
+  /// battery runs. Generated systems are small; keep these tight. The
+  /// stream length is generous on purpose: equivalence of the
+  /// transformations is assessed under *non-exhausting* environments
+  /// (the Def 3.5 operating contract regshare's definedness analysis
+  /// assumes) — streams must outlast every bounded loop of a generated
+  /// system.
+  std::size_t environments = 2;
+  std::size_t stream_length = 256;
+  std::uint64_t max_cycles = 5000;
+  /// Passes per random transformation chain (0 disables the stage).
+  std::size_t max_transform_steps = 3;
+  bool check_roundtrip = true;
+  bool check_fold = true;
+  bool check_io = true;
+  /// Minimize failures before reporting (costs predicate re-runs).
+  bool shrink_failures = true;
+  std::size_t max_shrink_attempts = 400;
+};
+
+struct OracleOutcome {
+  std::uint64_t seed = 0;
+  OracleLevel level = OracleLevel::kProgram;
+  bool ok = true;
+  std::string stage;     ///< failing oracle ("check", "engines", ...)
+  std::string detail;    ///< first divergence / violation / exception
+  std::string artifact;  ///< shrunk BDL source or plan s-expression
+
+  /// One-line rendering: "seed <n> [<level>] ok" or the failure summary.
+  [[nodiscard]] std::string to_string() const;
+  /// The corpus line that reproduces this failure (see parse_corpus).
+  [[nodiscard]] std::string corpus_line() const;
+};
+
+/// Runs the battery on one seed at one level.
+OracleOutcome run_seed(std::uint64_t seed, OracleLevel level,
+                       const OracleOptions& options = {});
+
+/// Runs both levels for each of `count` consecutive seeds; returns only
+/// failures (empty result == all green). Deterministic in (first, count,
+/// options).
+std::vector<OracleOutcome> run_seed_range(std::uint64_t first,
+                                          std::size_t count,
+                                          const OracleOptions& options = {});
+
+/// Battery entry points over pre-drawn inputs (used by the shrinker's
+/// predicate and by tests that construct inputs directly).
+OracleOutcome run_program_oracle(const synth::Program& program,
+                                 std::uint64_t seed,
+                                 const OracleOptions& options = {});
+OracleOutcome run_plan_oracle(const SysPlan& plan, std::uint64_t seed,
+                              const OracleOptions& options = {});
+
+// --- seed corpus ------------------------------------------------------------
+//
+// tests/corpus/seeds.txt holds one line per registered counterexample:
+//
+//   <level> <seed> [# comment]
+//
+// with <level> in {program, system}. Blank lines and full-line comments
+// (leading '#') are skipped.
+
+struct CorpusEntry {
+  OracleLevel level = OracleLevel::kProgram;
+  std::uint64_t seed = 0;
+  std::string note;
+};
+
+std::vector<CorpusEntry> parse_corpus(const std::string& text);
+/// Reads and parses a corpus file; throws Error when unreadable.
+std::vector<CorpusEntry> load_corpus_file(const std::string& path);
+
+}  // namespace camad::gen

@@ -1,0 +1,75 @@
+// Randomized *properly designed* BDL program generator.
+//
+// Emits structured programs whose compilation (synth::compile) is
+// properly designed per Def 3.2 *by construction*, so generative tests
+// can quantify over the paper's universally quantified theorems instead
+// of the hand-written corpus. The construction invariants:
+//
+//   * safe net        — programs are structured (sequence / if / counted
+//                       while / par), so the compiled control net is a
+//                       workflow net: one token per concurrent branch;
+//   * rule 1          — the arms of every branching construct (if/else
+//                       and par, which are structurally parallel under
+//                       the Def 2.3 relation ∥) receive *disjoint*
+//                       partitions of the writable variable set, so no
+//                       two parallel states share an associated vertex;
+//   * race freedom    — arms may additionally read only variables frozen
+//                       for the whole construct (written by no arm) and
+//                       *input channels are partitioned like variables*:
+//                       two parallel arms never read the same input
+//                       vertex, so environment-stream consumption order
+//                       is schedule-independent (the property the Def 4.5
+//                       transformations preserve);
+//   * rule 3          — branch guards are compiled predicates with the
+//                       kNot complement the checker proves exclusive;
+//   * rule 4          — expressions are trees over fresh units: no
+//                       combinatorial loops;
+//   * rule 5          — every generated state latches a register, a flag
+//                       or an output;
+//   * termination     — every `while` is a counted loop over a reserved
+//                       counter variable initialized to a small literal
+//                       and decremented exactly once per iteration.
+//
+// Generation is deterministic in (seed, options): the same pair always
+// yields the same program, on every platform (util/rng.h).
+#pragma once
+
+#include <cstdint>
+
+#include "synth/ast.h"
+#include "util/rng.h"
+
+namespace camad::gen {
+
+struct ProgramGenOptions {
+  std::size_t num_inputs = 2;       ///< >= 1 environment sources
+  std::size_t num_outputs = 1;      ///< >= 1 environment sinks
+  std::size_t num_vars = 4;         ///< >= 1 general-purpose registers
+  std::size_t max_depth = 3;        ///< nesting budget for if/while/par
+  std::size_t max_block_stmts = 3;  ///< statements per block (>= 1)
+  std::size_t max_expr_depth = 2;   ///< operator nesting in expressions
+  std::int64_t literal_lo = 0;
+  std::int64_t literal_hi = 9;
+  std::uint32_t max_loop_iters = 3;  ///< counted-loop trip bound (>= 1)
+  double p_if = 0.25;                ///< per-slot branch probability
+  double p_while = 0.2;
+  double p_par = 0.2;
+  bool allow_par = true;
+  bool allow_while = true;
+  bool allow_if = true;
+  bool allow_mux = true;
+  /// Division/modulo/shifts can evaluate to ⊥ (divide by zero, shift out
+  /// of range); they are legal and deterministic but are kept out of
+  /// branch conditions (a ⊥ guard deadlocks the net).
+  bool allow_partial_ops = true;
+};
+
+/// Draws one program from `rng`. See the header comment for the
+/// invariants the result satisfies.
+synth::Program random_program(Rng& rng, const ProgramGenOptions& options = {});
+
+/// Seeded convenience; the program is named "gen_<seed>".
+synth::Program random_program(std::uint64_t seed,
+                              const ProgramGenOptions& options = {});
+
+}  // namespace camad::gen

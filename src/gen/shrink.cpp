@@ -1,0 +1,312 @@
+#include "gen/shrink.h"
+
+#include <utility>
+#include <vector>
+
+namespace camad::gen {
+namespace {
+
+using synth::Block;
+using synth::Expr;
+using synth::ExprPtr;
+using synth::Program;
+using synth::Stmt;
+using synth::StmtKind;
+using synth::StmtPtr;
+
+// --- deep copy --------------------------------------------------------------
+
+ExprPtr clone_expr(const ExprPtr& e) {
+  if (!e) return nullptr;
+  auto out = std::make_unique<Expr>();
+  out->kind = e->kind;
+  out->literal = e->literal;
+  out->name = e->name;
+  out->op = e->op;
+  out->lhs = clone_expr(e->lhs);
+  out->rhs = clone_expr(e->rhs);
+  out->third = clone_expr(e->third);
+  return out;
+}
+
+Block clone_block(const Block& b);
+
+StmtPtr clone_stmt(const StmtPtr& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s->kind;
+  out->target = s->target;
+  out->value = clone_expr(s->value);
+  out->cond = clone_expr(s->cond);
+  out->body = clone_block(s->body);
+  out->els = clone_block(s->els);
+  for (const Block& br : s->branches) out->branches.push_back(clone_block(br));
+  return out;
+}
+
+Block clone_block(const Block& b) {
+  Block out;
+  for (const StmtPtr& s : b.stmts) out.stmts.push_back(clone_stmt(s));
+  return out;
+}
+
+// --- program edits ----------------------------------------------------------
+//
+// Statements and expressions are addressed by deterministic pre-order
+// index over a *fresh clone*, so each candidate is an independent
+// one-edit copy of the current program.
+
+void collect_blocks(Block& b, std::vector<Block*>& out) {
+  out.push_back(&b);
+  for (StmtPtr& s : b.stmts) {
+    collect_blocks(s->body, out);
+    collect_blocks(s->els, out);
+    for (Block& br : s->branches) collect_blocks(br, out);
+  }
+}
+
+void collect_exprs(ExprPtr& e, std::vector<ExprPtr*>& out) {
+  if (!e) return;
+  out.push_back(&e);
+  collect_exprs(e->lhs, out);
+  collect_exprs(e->rhs, out);
+  collect_exprs(e->third, out);
+}
+
+void collect_exprs(Block& b, std::vector<ExprPtr*>& out) {
+  for (StmtPtr& s : b.stmts) {
+    collect_exprs(s->value, out);
+    collect_exprs(s->cond, out);
+    collect_exprs(s->body, out);
+    collect_exprs(s->els, out);
+    for (Block& br : s->branches) collect_exprs(br, out);
+  }
+}
+
+std::size_t count_stmts(const Program& p) {
+  std::size_t n = 0;
+  std::vector<Block*> blocks;
+  collect_blocks(const_cast<Program&>(p).body, blocks);
+  for (const Block* b : blocks) n += b->stmts.size();
+  return n;
+}
+
+/// Locates the k-th statement (pre-order over blocks) in `p`.
+std::pair<Block*, std::size_t> locate_stmt(Program& p, std::size_t k) {
+  std::vector<Block*> blocks;
+  collect_blocks(p.body, blocks);
+  for (Block* b : blocks) {
+    if (k < b->stmts.size()) return {b, k};
+    k -= b->stmts.size();
+  }
+  return {nullptr, 0};
+}
+
+bool remove_stmt(Program& p, std::size_t k) {
+  auto [block, i] = locate_stmt(p, k);
+  if (block == nullptr) return false;
+  block->stmts.erase(block->stmts.begin() + static_cast<std::ptrdiff_t>(i));
+  return true;
+}
+
+/// Replaces a composite statement by the statements of its blocks.
+bool hoist_stmt(Program& p, std::size_t k) {
+  auto [block, i] = locate_stmt(p, k);
+  if (block == nullptr) return false;
+  Stmt& s = *block->stmts[i];
+  if (s.kind == StmtKind::kAssign) return false;
+  std::vector<StmtPtr> inlined;
+  for (StmtPtr& inner : s.body.stmts) inlined.push_back(std::move(inner));
+  for (StmtPtr& inner : s.els.stmts) inlined.push_back(std::move(inner));
+  for (Block& br : s.branches) {
+    for (StmtPtr& inner : br.stmts) inlined.push_back(std::move(inner));
+  }
+  block->stmts.erase(block->stmts.begin() + static_cast<std::ptrdiff_t>(i));
+  block->stmts.insert(block->stmts.begin() + static_cast<std::ptrdiff_t>(i),
+                      std::make_move_iterator(inlined.begin()),
+                      std::make_move_iterator(inlined.end()));
+  return true;
+}
+
+std::size_t count_exprs(const Program& p) {
+  std::vector<ExprPtr*> exprs;
+  collect_exprs(const_cast<Program&>(p).body, exprs);
+  return exprs.size();
+}
+
+/// Edit 0..2: replace the k-th expression by its lhs/rhs/third child;
+/// edit 3: replace it by the literal 0.
+bool simplify_expr(Program& p, std::size_t k, int edit) {
+  std::vector<ExprPtr*> exprs;
+  collect_exprs(p.body, exprs);
+  if (k >= exprs.size()) return false;
+  ExprPtr& slot = *exprs[k];
+  if (edit < 3) {
+    ExprPtr* child = edit == 0 ? &slot->lhs : edit == 1 ? &slot->rhs
+                                                        : &slot->third;
+    if (!*child) return false;
+    slot = std::move(*child);
+    return true;
+  }
+  if (slot->kind == synth::ExprKind::kLiteral && slot->literal == 0) {
+    return false;  // already minimal
+  }
+  slot = Expr::literal_of(0);
+  return true;
+}
+
+// --- plan edits -------------------------------------------------------------
+
+void collect_nodes(SysPlan& p, std::vector<SysPlan*>& out) {
+  out.push_back(&p);
+  for (SysPlan& c : p.children) collect_nodes(c, out);
+}
+
+/// Applies plan edit `edit` to node index `k`; returns false when the
+/// edit does not apply there. Edits, roughly most-reductive first:
+///   0..7   replace the node by its (edit)-th child
+///   8..15  erase the (edit-8)-th child (where arity rules allow)
+///   16     loop count -> 1
+///   17     drop a branch's else arm
+///   18     guard style -> kNotUnit, compare selectors -> 0
+///   19     step selectors -> 0
+bool edit_plan(SysPlan& root, std::size_t k, int edit) {
+  std::vector<SysPlan*> nodes;
+  collect_nodes(root, nodes);
+  if (k >= nodes.size()) return false;
+  SysPlan& n = *nodes[k];
+  if (edit < 8) {
+    const std::size_t j = static_cast<std::size_t>(edit);
+    if (j >= n.children.size()) return false;
+    SysPlan replacement = std::move(n.children[j]);
+    n = std::move(replacement);
+    return true;
+  }
+  if (edit < 16) {
+    const std::size_t j = static_cast<std::size_t>(edit - 8);
+    if (j >= n.children.size()) return false;
+    const std::size_t min_children = n.kind == PlanKind::kPar    ? 3
+                                     : n.kind == PlanKind::kSeq  ? 2
+                                                                 : 99;
+    if (n.children.size() < min_children) return false;
+    n.children.erase(n.children.begin() + static_cast<std::ptrdiff_t>(j));
+    return true;
+  }
+  switch (edit) {
+    case 16:
+      if (n.kind != PlanKind::kLoop || n.iters <= 1) return false;
+      n.iters = 1;
+      return true;
+    case 17:
+      if (n.kind != PlanKind::kBranch || n.children.size() != 2) return false;
+      n.children.pop_back();
+      return true;
+    case 18:
+      if (n.kind != PlanKind::kBranch ||
+          (n.guard == GuardStyle::kNotUnit && n.cmp_op == 0 && n.cmp_a == 0 &&
+           n.cmp_b == 0)) {
+        return false;
+      }
+      n.guard = GuardStyle::kNotUnit;
+      n.cmp_op = n.cmp_a = n.cmp_b = 0;
+      return true;
+    case 19:
+      if (n.kind != PlanKind::kStep ||
+          (n.op == 0 && n.src_a == 0 && n.src_b == 0 && n.src_c == 0)) {
+        return false;
+      }
+      n.op = n.src_a = n.src_b = n.src_c = 0;
+      return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+synth::Program clone_program(const synth::Program& program) {
+  Program out;
+  out.name = program.name;
+  out.inputs = program.inputs;
+  out.outputs = program.outputs;
+  out.variables = program.variables;
+  out.body = clone_block(program.body);
+  return out;
+}
+
+synth::Program shrink_program(const synth::Program& failing,
+                              const ProgramPredicate& still_fails,
+                              std::size_t max_attempts, ShrinkStats* stats) {
+  Program current = clone_program(failing);
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+
+  bool improved = true;
+  while (improved && st.attempts < max_attempts) {
+    improved = false;
+    // Structural reductions first: statement removal, then hoisting.
+    const std::size_t stmts = count_stmts(current);
+    for (std::size_t k = 0; k < stmts && !improved; ++k) {
+      for (const auto edit : {&remove_stmt, &hoist_stmt}) {
+        Program candidate = clone_program(current);
+        if (!edit(candidate, k)) continue;
+        ++st.attempts;
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          ++st.rounds;
+          improved = true;
+          break;
+        }
+        if (st.attempts >= max_attempts) break;
+      }
+    }
+    if (improved) continue;
+    // Expression simplification.
+    const std::size_t exprs = count_exprs(current);
+    for (std::size_t k = 0; k < exprs && !improved; ++k) {
+      for (int edit = 0; edit < 4; ++edit) {
+        Program candidate = clone_program(current);
+        if (!simplify_expr(candidate, k, edit)) continue;
+        ++st.attempts;
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          ++st.rounds;
+          improved = true;
+          break;
+        }
+        if (st.attempts >= max_attempts) break;
+      }
+    }
+  }
+  return current;
+}
+
+SysPlan shrink_plan(const SysPlan& failing, const PlanPredicate& still_fails,
+                    std::size_t max_attempts, ShrinkStats* stats) {
+  SysPlan current = failing;
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+
+  bool improved = true;
+  while (improved && st.attempts < max_attempts) {
+    improved = false;
+    std::vector<SysPlan*> nodes;
+    collect_nodes(current, nodes);
+    const std::size_t n = nodes.size();
+    for (std::size_t k = 0; k < n && !improved; ++k) {
+      for (int edit = 0; edit < 20; ++edit) {
+        SysPlan candidate = current;
+        if (!edit_plan(candidate, k, edit)) continue;
+        ++st.attempts;
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          ++st.rounds;
+          improved = true;
+          break;
+        }
+        if (st.attempts >= max_attempts) break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace camad::gen

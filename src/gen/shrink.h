@@ -1,0 +1,52 @@
+// Greedy counterexample minimization.
+//
+// Both generators draw from an explicit intermediate representation — a
+// BDL AST (gen/program.h) or a SysPlan recipe tree (gen/sysgen.h) — so a
+// failing input shrinks at that level and is *rebuilt*, which keeps every
+// construction invariant intact: a shrunk candidate is still a properly
+// designed system by construction, and the only question the caller's
+// predicate must answer is "does it still fail the same way?".
+//
+// The strategy is classical greedy first-improvement: enumerate all
+// one-step-smaller candidates (drop a statement / child, hoist a nested
+// block into its parent, reduce a loop count, simplify an expression or
+// selector), accept the first candidate the predicate still rejects, and
+// repeat until no candidate fails. Deterministic: candidate order depends
+// only on the input's structure.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "gen/sysgen.h"
+#include "synth/ast.h"
+
+namespace camad::gen {
+
+/// Returns true when the candidate still exhibits the failure being
+/// minimized. Must be deterministic (same input, same answer).
+using ProgramPredicate = std::function<bool(const synth::Program&)>;
+using PlanPredicate = std::function<bool(const SysPlan&)>;
+
+struct ShrinkStats {
+  std::size_t rounds = 0;      ///< accepted reduction steps
+  std::size_t attempts = 0;    ///< predicate evaluations
+};
+
+/// Deep copy (the AST owns its nodes through unique_ptr).
+synth::Program clone_program(const synth::Program& program);
+
+/// Minimizes `failing` under `still_fails`. `still_fails(failing)` is
+/// assumed true; the result also satisfies it. `max_attempts` bounds the
+/// total number of predicate evaluations (the predicate typically runs a
+/// compile + simulate cycle, so this bounds shrinking cost).
+synth::Program shrink_program(const synth::Program& failing,
+                              const ProgramPredicate& still_fails,
+                              std::size_t max_attempts = 2000,
+                              ShrinkStats* stats = nullptr);
+
+SysPlan shrink_plan(const SysPlan& failing, const PlanPredicate& still_fails,
+                    std::size_t max_attempts = 2000,
+                    ShrinkStats* stats = nullptr);
+
+}  // namespace camad::gen

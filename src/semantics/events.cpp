@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "petri/order.h"
+#include "petri/reachability.h"
 
 namespace camad::semantics {
 
@@ -45,14 +46,26 @@ EventStructure EventStructure::extract(const dcf::System& system,
                               raw.cycle, raw.state});
   }
 
+  // ⇒ refined by reachability: the structural F⁺ is cycle-blind — a
+  // loop's back edge relates concurrent branch states of the body both
+  // ways — so events of co-markable states would pick up a ≺ pair from
+  // accidental cycle timing. Such events are in the paper's "casual"
+  // relation: free to occur in either order, no constraint.
   const petri::OrderRelations order(system.control().net());
+  const std::vector<bool> co_marked =
+      petri::concurrent_places(system.control().net());
+  const std::size_t nplaces = system.control().net().place_count();
+  auto causal = [&](petri::PlaceId a, petri::PlaceId b) {
+    return order.before(a, b) &&
+           !co_marked[a.index() * nplaces + b.index()];
+  };
   for (std::size_t i = 0; i < s.events_.size(); ++i) {
     for (std::size_t j = i + 1; j < s.events_.size(); ++j) {
       const Event& a = s.events_[i];
       const Event& b = s.events_[j];
-      if (a.cycle < b.cycle && order.before(a.state, b.state)) {
+      if (a.cycle < b.cycle && causal(a.state, b.state)) {
         s.precedent_.insert({i, j});
-      } else if (b.cycle < a.cycle && order.before(b.state, a.state)) {
+      } else if (b.cycle < a.cycle && causal(b.state, a.state)) {
         s.precedent_.insert({j, i});
       }
       if (a.cycle == b.cycle && a.state == b.state) {

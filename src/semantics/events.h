@@ -7,7 +7,11 @@
 // keep their names (which every transformation preserves).
 //
 //   ≺ (precedent):  E_i ≺ E_j iff E_i occurred before E_j and the
-//                   controlling states satisfy S_i ⇒ S_j (Def 3.5);
+//                   controlling states satisfy S_i ⇒ S_j (Def 3.5) and
+//                   are not reachably co-markable (the structural ⇒ is
+//                   cycle-blind: a loop back edge F⁺-relates concurrent
+//                   body states both ways, which would turn accidental
+//                   cycle timing between casual events into a ≺ pair);
 //   ≈ (concurrent): same instant, same controlling state.
 // Unrelated events are in the paper's "casual" relation — free to occur
 // in either order — and impose no constraint on equality.

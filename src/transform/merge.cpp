@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "petri/order.h"
+#include "petri/reachability.h"
 #include "util/error.h"
 
 namespace camad::transform {
@@ -47,9 +48,42 @@ std::vector<PlaceId> reading_states(const dcf::System& system, VertexId v) {
   return out;
 }
 
+/// Shared relations for one sweep of pairwise checks. The structural
+/// order α is cycle-blind — inside a loop, the back edge puts *every*
+/// pair of body states in F⁺ both ways, so two states of concurrent
+/// branches within the loop body count as "sequential order" although
+/// they are co-marked in every iteration. Sharing a unit between such
+/// states is a drive conflict, so legality additionally consults the
+/// reachability-based concurrency relation (the semantic refinement).
+struct MergeRelations {
+  petri::OrderRelations order;
+  std::vector<bool> concurrent;
+  std::size_t nplaces;
+
+  explicit MergeRelations(const petri::Net& net)
+      : order(net),
+        concurrent(petri::concurrent_places(net)),
+        nplaces(net.place_count()) {}
+
+  [[nodiscard]] bool co_marked(PlaceId a, PlaceId b) const {
+    return concurrent[a.index() * nplaces + b.index()];
+  }
+};
+
+MergeCheck can_merge_with(const dcf::System& system, VertexId vi, VertexId vj,
+                          const MergeRelations& relations);
+
 }  // namespace
 
 MergeCheck can_merge(const dcf::System& system, VertexId vi, VertexId vj) {
+  return can_merge_with(system, vi, vj,
+                        MergeRelations(system.control().net()));
+}
+
+namespace {
+
+MergeCheck can_merge_with(const dcf::System& system, VertexId vi, VertexId vj,
+                          const MergeRelations& relations) {
   const dcf::DataPath& dp = system.datapath();
   auto no = [](std::string why) { return MergeCheck{false, std::move(why)}; };
 
@@ -77,8 +111,11 @@ MergeCheck can_merge(const dcf::System& system, VertexId vi, VertexId vj) {
     }
   }
 
-  // Associated control states pairwise in sequential order.
-  const petri::OrderRelations order(system.control().net());
+  // Associated control states pairwise in sequential order — and never
+  // co-marked: the structural α says "sequential" for concurrent branches
+  // inside one loop body (F⁺ holds both ways through the back edge), but
+  // two simultaneously marked users of one shared unit drive its input
+  // ports at once.
   const std::vector<PlaceId> ai = associated_states(system, vi);
   const std::vector<PlaceId> aj = associated_states(system, vj);
   for (PlaceId a : ai) {
@@ -87,10 +124,16 @@ MergeCheck can_merge(const dcf::System& system, VertexId vi, VertexId vj) {
         return no("state " + system.control().net().name(a) +
                   " uses both vertices simultaneously");
       }
-      if (!order.sequential(a, b)) {
+      if (!relations.order.sequential(a, b)) {
         return no("states " + system.control().net().name(a) + " and " +
                   system.control().net().name(b) +
                   " are not in sequential order");
+      }
+      if (relations.co_marked(a, b)) {
+        return no("states " + system.control().net().name(a) + " and " +
+                  system.control().net().name(b) +
+                  " are concurrently markable; sharing one unit between " +
+                  "them is a drive conflict");
       }
     }
   }
@@ -112,6 +155,8 @@ MergeCheck can_merge(const dcf::System& system, VertexId vi, VertexId vj) {
   }
   return MergeCheck{true, {}};
 }
+
+}  // namespace
 
 dcf::System merge_vertices(const dcf::System& system, VertexId vi,
                            VertexId vj) {
@@ -185,11 +230,14 @@ std::vector<std::pair<VertexId, VertexId>> mergeable_pairs(
     const dcf::System& system) {
   std::vector<std::pair<VertexId, VertexId>> out;
   const std::size_t n = system.datapath().vertex_count();
+  const MergeRelations relations(system.control().net());
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = j + 1; i < n; ++i) {
       const VertexId vi(static_cast<VertexId::underlying_type>(i));
       const VertexId vj(static_cast<VertexId::underlying_type>(j));
-      if (can_merge(system, vi, vj).legal) out.emplace_back(vi, vj);
+      if (can_merge_with(system, vi, vj, relations).legal) {
+        out.emplace_back(vi, vj);
+      }
     }
   }
   return out;

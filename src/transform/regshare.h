@@ -12,8 +12,27 @@
 // Interference rules (conservative, hence sound):
 //   * r1 is written in a state where r2 is live-out            (overlap)
 //   * r1 and r2 are written in the same state                  (port clash)
-//   * r1 and r2 are live or written in structurally parallel
-//     states (they coexist in time across branches)            (Def 2.3 ∥)
+//   * r1 and r2 are live or written in structurally parallel or
+//     reachably co-markable states (they coexist in time across
+//     branches; ∥ alone is cycle-blind inside loops)           (Def 2.3 ∥)
+//   * r1 may be read while still undefined                     (⊥ escape)
+//
+// The last rule has no classical analogue: compilers treat reads of
+// uninitialized variables as undefined behaviour, but here ⊥ is a
+// first-class *observable* value (Def 3.1 rule 10) — a register read
+// before any write must yield ⊥, and a guard reading ⊥ must not fire.
+// Merging such a register would substitute a stale defined value from its
+// colour class, changing events and even branch timing. Registers not
+// definitely assigned before every use (forward must-assignment over the
+// state graph; guard reads count as uses at the transition's pre-states)
+// therefore interfere with everything and keep private storage.
+//
+// "Assigned" is definedness-aware: ⊥ never latches (Def 3.1 rule 10), so
+// a write only counts — both as a must-assignment and as a liveness
+// kill — when the cone driving the register is *definitely* defined:
+// constants and environment inputs are defined (a non-exhausting
+// environment is the Def 3.5 operating contract), total COM ops
+// propagate definedness, and partial ops (div/mod/shift) never do.
 #pragma once
 
 #include <vector>
@@ -30,8 +49,11 @@ struct LivenessResult {
   std::vector<dcf::VertexId> registers;   ///< analyzed register vertices
   std::vector<DynamicBitset> live_in;     ///< state index -> register set
   std::vector<DynamicBitset> live_out;
-  std::vector<DynamicBitset> reads;       ///< dom-side register uses
+  std::vector<DynamicBitset> reads;       ///< dom-side + guard register uses
   std::vector<DynamicBitset> writes;      ///< R(S) registers
+  /// Registers some state (or guard) may read before any write reached
+  /// them — their ⊥ is observable, so they must not share storage.
+  DynamicBitset maybe_undef_read;
 };
 
 /// Backward may-liveness to a fixpoint over the state graph (S -> S'

@@ -244,6 +244,140 @@ TEST(Check, ControlOnlyStatesExemptByDefault) {
   EXPECT_TRUE(has_violation(literal, Rule::kSequentialResult));
 }
 
+TEST(Check, Rule1MessagesNameArcEndpoints) {
+  // Diagnostics name the arc's ports (arc ids are renumbered by every
+  // transformation, so "#id" would be useless to a reader).
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto r = b.reg("r");
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  const auto arc = b.connect(x, r, 0, {s0});
+  b.control(s1, arc);
+  b.control(s2, arc);
+  const auto fork = b.transition("fork");
+  b.flow(s0, fork);
+  b.flow(fork, s1);
+  b.flow(fork, s2);
+  const CheckReport report = check_properly_designed(b.build());
+  ASSERT_TRUE(has_violation(report, Rule::kParallelDisjoint));
+  bool named = false;
+  for (const Violation& v : report.violations) {
+    if (v.rule == Rule::kParallelDisjoint &&
+        v.message.find("x.o0 -> r.i0") != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << report.to_string();
+}
+
+TEST(Check, LatchedComplementaryGuardsProveRule3) {
+  // kLatchedPair idiom: condition registers latch cmp and NOT(cmp); the
+  // competing exits of the test place are guarded by the two registers.
+  // complementary_ports strips one level of register indirection, so the
+  // conflict is statically provable — no violation, no warning.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto r = b.reg("r");
+  const auto cmp = b.unit("cmp", OpCode::kNe);
+  const auto inv = b.unit("inv", OpCode::kNot);
+  const auto cpos = b.reg("cpos");
+  const auto cneg = b.reg("cneg");
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  b.connect(x, r, 0, {s0});
+  b.arc(b.out(r), b.in(cmp, 0), {s0});
+  b.arc(b.out(r), b.in(cmp, 1), {s0});
+  b.arc(b.out(cmp), b.in(inv), {s0});
+  b.arc(b.out(cmp), b.in(cpos), {s0});
+  b.arc(b.out(inv), b.in(cneg), {s0});
+  b.arc(b.out(r), b.in(r), {s1});
+  b.arc(b.out(r), b.in(r), {s2});
+  const auto t1 = b.chain(s0, s1, "Tthen");
+  const auto t2 = b.chain(s0, s2, "Telse");
+  b.guard(t1, cpos);
+  b.guard(t2, cneg);
+  const CheckReport report = check_properly_designed(b.build());
+  EXPECT_FALSE(has_violation(report, Rule::kConflictFree));
+  for (const Violation& w : report.warnings) {
+    EXPECT_NE(w.rule, Rule::kConflictFree) << w.message;
+  }
+}
+
+TEST(Check, LoopBodyConcurrentArmsSharingVertexNeedReachableMode) {
+  // Inside a loop the structural ∥ is cycle-blind: the back edge puts
+  // the two arms in F⁺ both ways, so their shared target vertex escapes
+  // the structural rule-1 check. The reachability-refined mode sees them
+  // co-marked and reports the drive conflict.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto r = b.reg("r");
+  const auto r2 = b.reg("r2");
+  const auto s0 = b.state("S0", true);
+  const auto sa = b.state("SA");
+  const auto sb = b.state("SB");
+  b.connect(x, r, 0, {s0});
+  b.arc(b.out(r), b.in(r2), {sa});
+  const auto shared = b.arc(b.out(r), b.in(r2));
+  b.control(sb, shared);
+  const auto fork = b.transition("fork");
+  b.flow(s0, fork);
+  b.flow(fork, sa);
+  b.flow(fork, sb);
+  const auto join = b.transition("join");
+  b.flow(sa, join);
+  b.flow(sb, join);
+  b.flow(join, s0);  // back edge: every body pair is F⁺-related both ways
+  const System sys = b.build();
+
+  CheckOptions structural;
+  EXPECT_FALSE(has_violation(check_properly_designed(sys, structural),
+                             Rule::kParallelDisjoint));
+
+  CheckOptions reachable;
+  reachable.use_reachable_concurrency = true;
+  EXPECT_TRUE(has_violation(check_properly_designed(sys, reachable),
+                            Rule::kParallelDisjoint));
+}
+
+TEST(Check, CombinationalLoopSplitAcrossParallelStatesViolatesRule4) {
+  // Each state alone controls an acyclic half; only the configuration
+  // with both marked closes the cycle a1 -> a2 -> a1.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto r = b.reg("r");
+  const auto ra = b.reg("ra");
+  const auto rb = b.reg("rb");
+  const auto a1 = b.unit("a1", OpCode::kAdd);
+  const auto a2 = b.unit("a2", OpCode::kAdd);
+  const auto s0 = b.state("S0", true);
+  const auto sa = b.state("SA");
+  const auto sb = b.state("SB");
+  b.connect(x, r, 0, {s0});
+  b.arc(b.out(r), b.in(a1, 1), {sa});
+  b.arc(b.out(a1), b.in(a2, 0), {sa});
+  b.arc(b.out(a1), b.in(ra), {sa});
+  b.arc(b.out(r), b.in(a2, 1), {sb});
+  b.arc(b.out(a2), b.in(a1, 0), {sb});
+  b.arc(b.out(a2), b.in(rb), {sb});
+  const auto fork = b.transition("fork");
+  b.flow(s0, fork);
+  b.flow(fork, sa);
+  b.flow(fork, sb);
+  const CheckReport report = check_properly_designed(b.build());
+  EXPECT_TRUE(has_violation(report, Rule::kNoCombLoop));
+  bool joint = false;
+  for (const Violation& v : report.violations) {
+    if (v.rule == Rule::kNoCombLoop &&
+        v.message.find("jointly activate") != std::string::npos) {
+      joint = true;
+    }
+  }
+  EXPECT_TRUE(joint) << report.to_string();
+}
+
 TEST(Check, ReportFormatsViolations) {
   dcf::SystemBuilder b;
   const auto s0 = b.state("S0", true);
