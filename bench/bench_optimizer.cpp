@@ -1,0 +1,155 @@
+// Design-space-exploration throughput: synth::optimize() with the shared
+// AnalysisCache, batched candidate measurement (one engine per candidate,
+// plans compiled once per measurement) and parallel candidate
+// evaluation, against the pre-cache baseline (use_analysis_cache=false,
+// eval_threads=1, share_engine=false — analysis recompute per candidate,
+// a cold engine per environment, serial sweep). Both configurations walk
+// the identical search trajectory (deterministic earliest-index argmin,
+// bit-identical metrics), so wall-clock is the only thing that moves.
+//
+//   * BM_optimize/<design>          — cached, parallel evaluation;
+//   * BM_optimize_uncached/<design> — uncached, serial evaluation.
+//
+// Pass --json[=PATH] (default BENCH_optimizer.json) to emit one record
+// per design with both wall-clocks and the speedup, for the CI bench
+// artifact (see docs/PERF.md).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "synth/compile.h"
+#include "synth/designs.h"
+#include "synth/library.h"
+#include "synth/optimizer.h"
+#include "util/strings.h"
+
+using namespace camad;
+
+namespace {
+
+synth::OptimizerOptions options_for(bool cached) {
+  synth::OptimizerOptions options;
+  options.measure.environments = 2;
+  options.measure.share_engine = cached;
+  options.use_analysis_cache = cached;
+  options.eval_threads = cached ? 0 : 1;
+  return options;
+}
+
+void BM_optimize(benchmark::State& state, const std::string& source,
+                 bool cached) {
+  const dcf::System serial = synth::compile_source(source);
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+  const synth::OptimizerOptions options = options_for(cached);
+  std::size_t merges = 0;
+  for (auto _ : state) {
+    const synth::OptimizerResult result =
+        synth::optimize(serial, lib, options);
+    merges = result.merges_applied;
+    benchmark::DoNotOptimize(result.final.time_ns);
+  }
+  state.counters["merges"] = static_cast<double>(merges);
+}
+
+/// Mean wall-clock seconds of one optimize() call (min 3 runs, min 0.5s).
+double measure_seconds(const dcf::System& serial,
+                       const synth::ModuleLibrary& lib,
+                       const synth::OptimizerOptions& options) {
+  using clock = std::chrono::steady_clock;
+  std::size_t runs = 0;
+  const auto start = clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  do {
+    const synth::OptimizerResult result =
+        synth::optimize(serial, lib, options);
+    benchmark::DoNotOptimize(result.final.time_ns);
+    ++runs;
+  } while (runs < 3 || elapsed() < 0.5);
+  return elapsed() / static_cast<double>(runs);
+}
+
+/// Emits BENCH_optimizer.json: per-design cached vs uncached optimize()
+/// wall-clock and the speedup. Returns false if the file cannot be
+/// written.
+bool emit_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << '\n';
+    return false;
+  }
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+  // Cores matter for reading the numbers: the cached configuration
+  // fans candidate evaluation out over them, the baseline is serial.
+  out << "{\n  \"bench\": \"optimizer\",\n  \"metric\": "
+         "\"optimize_seconds\",\n  \"cores\": "
+      << std::thread::hardware_concurrency() << ",\n  \"designs\": [\n";
+  bool first = true;
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    const dcf::System serial =
+        synth::compile_source(std::string(d.source));
+    const double cached = measure_seconds(serial, lib, options_for(true));
+    const double uncached =
+        measure_seconds(serial, lib, options_for(false));
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"design\": \"" << d.name << "\", \"cached_seconds\": "
+        << format_double(cached, 4) << ", \"uncached_seconds\": "
+        << format_double(uncached, 4) << ", \"speedup\": "
+        << format_double(uncached / cached, 2) << "}";
+    std::cout << "BENCH_optimizer " << d.name << ": "
+              << format_double(cached * 1e3, 1) << " ms cached vs "
+              << format_double(uncached * 1e3, 1) << " ms uncached ("
+              << format_double(uncached / cached, 2) << "x)\n";
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed writing " << path << '\n';
+    return false;
+  }
+  std::cout << "wrote " << path << '\n';
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Extract our --json[=PATH] flag before google-benchmark sees argv.
+  std::string json_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_optimizer.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  if (!json_path.empty()) {
+    return emit_json(json_path) ? 0 : 1;
+  }
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    benchmark::RegisterBenchmark(("BM_optimize/" + d.name).c_str(),
+                                 BM_optimize, std::string(d.source), true)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("BM_optimize_uncached/" + d.name).c_str(), BM_optimize,
+        std::string(d.source), false)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "graph/digraph.h"
 #include "petri/invariants.h"
 #include "petri/order.h"
+#include "semantics/analysis.h"
 #include "util/error.h"
 
 namespace camad::dcf {
@@ -27,24 +28,40 @@ std::string arc_label(const DataPath& dp, ArcId a) {
 /// default, reachability-refined when requested.
 class ParallelRelation {
  public:
-  ParallelRelation(const petri::Net& net, const CheckOptions& options)
+  /// `cache` (nullable) supplies memoized relations; it is consulted only
+  /// when bound to the checked system with matching reachability options
+  /// (the caller guarantees both — see usable_cache below).
+  ParallelRelation(const petri::Net& net, const CheckOptions& options,
+                   const semantics::AnalysisCache* cache)
       : n_(net.place_count()) {
     if (options.use_reachable_concurrency) {
-      reachable_conc_ = petri::concurrent_places(net, options.reachability);
+      if (cache != nullptr) {
+        conc_ = &cache->concurrency();
+      } else {
+        own_conc_ = petri::concurrent_places(net, options.reachability);
+        conc_ = &own_conc_;
+      }
     } else {
-      order_ = std::make_unique<petri::OrderRelations>(net);
+      if (cache != nullptr) {
+        order_ = &cache->order();
+      } else {
+        own_order_ = std::make_unique<petri::OrderRelations>(net);
+        order_ = own_order_.get();
+      }
     }
   }
 
   [[nodiscard]] bool operator()(PlaceId a, PlaceId b) const {
     if (order_ != nullptr) return order_->parallel(a, b);
-    return reachable_conc_[a.index() * n_ + b.index()];
+    return (*conc_)[a.index() * n_ + b.index()];
   }
 
  private:
   std::size_t n_;
-  std::vector<bool> reachable_conc_;
-  std::unique_ptr<petri::OrderRelations> order_;
+  std::vector<bool> own_conc_;
+  std::unique_ptr<petri::OrderRelations> own_order_;
+  const std::vector<bool>* conc_ = nullptr;
+  const petri::OrderRelations* order_ = nullptr;
 };
 
 void check_parallel_disjoint(const System& system,
@@ -87,6 +104,7 @@ void check_parallel_disjoint(const System& system,
 }
 
 void check_safety(const System& system, const CheckOptions& options,
+                  const semantics::AnalysisCache* cache,
                   CheckReport& report) {
   const auto& net = system.control().net();
   // Initial marking itself must be safe.
@@ -107,7 +125,8 @@ void check_safety(const System& system, const CheckOptions& options,
     }
   }
   const petri::ReachabilityResult result =
-      petri::explore(net, options.reachability);
+      cache != nullptr ? cache->reachability()
+                       : petri::explore(net, options.reachability);
   if (!result.safe) {
     std::string marked;
     for (PlaceId p : result.unsafe_witness->marked_places()) {
@@ -338,6 +357,7 @@ std::string CheckReport::to_string() const {
     }
   }
   if (!warnings.empty()) {
+    if (ok()) os << '\n';
     os << warnings.size() << " warning(s):\n";
     for (const Violation& v : warnings) {
       os << "  [" << rule_name(v.rule) << "] " << v.message << '\n';
@@ -346,17 +366,42 @@ std::string CheckReport::to_string() const {
   return os.str();
 }
 
-CheckReport check_properly_designed(const System& system,
-                                    const CheckOptions& options) {
+namespace {
+
+CheckReport check_properly_designed_impl(
+    const System& system, const CheckOptions& options,
+    const semantics::AnalysisCache* cache) {
   system.validate();
   CheckReport report;
-  const ParallelRelation parallel(system.control().net(), options);
+  const ParallelRelation parallel(system.control().net(), options, cache);
   check_parallel_disjoint(system, parallel, report);
-  check_safety(system, options, report);
+  check_safety(system, options, cache, report);
   check_conflict_free(system, report);
   check_no_comb_loop(system, parallel, report);
   check_sequential_result(system, options, report);
   return report;
+}
+
+}  // namespace
+
+CheckReport check_properly_designed(const System& system,
+                                    const CheckOptions& options) {
+  return check_properly_designed_impl(system, options, nullptr);
+}
+
+CheckReport check_properly_designed(const System& system,
+                                    const semantics::AnalysisCache& cache,
+                                    const CheckOptions& options) {
+  if (!cache.bound_to(system)) {
+    throw Error(
+        "check_properly_designed: analysis cache bound to a different "
+        "system");
+  }
+  // A cache built with a different exploration budget would answer rules
+  // 2 and 4 against markings the caller did not ask about; recompute.
+  const bool usable = cache.reachability_options() == options.reachability;
+  return check_properly_designed_impl(system, options,
+                                      usable ? &cache : nullptr);
 }
 
 void require_properly_designed(const System& system,

@@ -27,6 +27,10 @@
 #include "dcf/system.h"
 #include "petri/reachability.h"
 
+namespace camad::semantics {
+class AnalysisCache;
+}  // namespace camad::semantics
+
 namespace camad::dcf {
 
 enum class Rule : std::uint8_t {
@@ -69,8 +73,15 @@ struct CheckReport {
 };
 
 /// Runs all five checks; never throws on rule violations (only on
-/// malformed models).
+/// malformed models). The cached overload reuses reachability /
+/// concurrency / order results from `cache` (which must be bound to
+/// `system`) for rules 1, 2 and 4 — but only when the cache was built
+/// with the same ReachabilityOptions as `options.reachability`; on a
+/// mismatch it recomputes rather than report against a different budget.
 CheckReport check_properly_designed(const System& system,
+                                    const CheckOptions& options = {});
+CheckReport check_properly_designed(const System& system,
+                                    const semantics::AnalysisCache& cache,
                                     const CheckOptions& options = {});
 
 /// Throws DesignRuleError with the report text unless `ok()`.

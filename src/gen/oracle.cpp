@@ -1,6 +1,8 @@
 #include "gen/oracle.h"
 
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -8,6 +10,7 @@
 #include "dcf/check.h"
 #include "dcf/io.h"
 #include "gen/shrink.h"
+#include "semantics/analysis.h"
 #include "semantics/equivalence.h"
 #include "sim/environment.h"
 #include "sim/simulator.h"
@@ -19,6 +22,7 @@
 #include "transform/cleanup.h"
 #include "transform/merge.h"
 #include "transform/parallelize.h"
+#include "transform/passes.h"
 #include "transform/regshare.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -122,6 +126,12 @@ const Pass kPasses[] = {
      [](const dcf::System& s) { return transform::cleanup_control(s); }},
 };
 
+/// Registered-pass names aligned index-for-index with kPasses, for the
+/// use_pass_pipeline route.
+const char* const kRegisteredNames[] = {"parallelize", "merge-all",
+                                        "regshare", "chain", "cleanup"};
+static_assert(std::size(kRegisteredNames) == std::size(kPasses));
+
 semantics::DifferentialOptions differential_options(
     std::uint64_t seed, const OracleOptions& opt) {
   semantics::DifferentialOptions d;
@@ -141,16 +151,32 @@ void transform_chain(const dcf::System& original, std::uint64_t seed,
   Rng rng(seed ^ 0x7472616e73666fULL);
   const std::size_t steps = 1 + rng.below(opt.max_transform_steps);
   dcf::System current = original;
+  // Pipeline route: one cache threaded across the chain; each pass's
+  // declared-preserved analyses carry over, and the checker below reads
+  // the carried results.
+  std::optional<semantics::AnalysisCache> cache;
+  if (opt.use_pass_pipeline) cache.emplace(current);
   std::string chain;
   for (std::size_t i = 0; i < steps; ++i) {
-    const Pass& pass = kPasses[rng.below(std::size(kPasses))];
+    const std::size_t pick = rng.below(std::size(kPasses));
+    const Pass& pass = kPasses[pick];
     chain += (chain.empty() ? "" : " -> ") + std::string(pass.name);
     try {
-      current = pass.apply(current);
+      if (cache.has_value()) {
+        const std::unique_ptr<transform::Pass> registered =
+            transform::make_pass(kRegisteredNames[pick]);
+        dcf::System next = registered->run(current, *cache);
+        current = std::move(next);
+        cache = cache->successor(current, registered->preserves());
+      } else {
+        current = pass.apply(current);
+      }
     } catch (const Error& e) {
       throw StageFailure{"transforms", chain + " threw: " + describe(e)};
     }
-    const dcf::CheckReport report = dcf::check_properly_designed(current);
+    const dcf::CheckReport report =
+        cache.has_value() ? dcf::check_properly_designed(current, *cache)
+                          : dcf::check_properly_designed(current);
     if (!report.ok()) {
       throw StageFailure{"transforms",
                          chain + " broke the checker: " + report.to_string()};

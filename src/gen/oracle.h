@@ -60,6 +60,14 @@ struct OracleOptions {
   std::uint64_t max_cycles = 5000;
   /// Passes per random transformation chain (0 disables the stage).
   std::size_t max_transform_steps = 3;
+  /// Route the transformation chain through transform::PassPipeline's
+  /// machinery (registered passes + one AnalysisCache threaded across
+  /// the chain via successor()) instead of direct calls. Same seeds draw
+  /// the same chains either way, so the two routes are differential
+  /// oracles for each other — and the cached route additionally stresses
+  /// every pass's PreservedAnalyses declaration, because the checker and
+  /// the equivalence oracle observe the carried analyses' consequences.
+  bool use_pass_pipeline = false;
   bool check_roundtrip = true;
   bool check_fold = true;
   bool check_io = true;

@@ -210,7 +210,7 @@ class SysBuilder {
 
   /// Builds the guard pair for a branch/loop test state. Returns the two
   /// ports guarding the positive / negative exits.
-  std::pair<PortId, PortId> build_guard_pair(const SysPlan& node, Pool& pool,
+  std::pair<PortId, PortId> build_guard_pair(const SysPlan& node,
                                              PlaceId s_test, PortId lhs,
                                              PortId rhs) {
     GuardStyle style = node.guard;
@@ -273,7 +273,7 @@ class SysBuilder {
                                : pool.select(node.cmp_a);
     const PortId rhs = latched ? pool.select_defined(node.cmp_b, num_consts_)
                                : pool.select(node.cmp_b);
-    const auto [pos, neg] = build_guard_pair(node, pool, s_test, lhs, rhs);
+    const auto [pos, neg] = build_guard_pair(node, s_test, lhs, rhs);
 
     // Arms get snapshots (exclusive at runtime, parallel under the
     // structural ∥ — same discipline as true parallelism).

@@ -49,6 +49,10 @@ class OrderRelations {
 
   [[nodiscard]] std::size_t place_count() const { return closure_.size(); }
 
+  /// Identical F⁺ closures (used by the analysis-cache soundness tests).
+  friend bool operator==(const OrderRelations&,
+                         const OrderRelations&) = default;
+
  private:
   std::vector<DynamicBitset> closure_;  // place -> reachable places via F⁺
 };

@@ -24,6 +24,9 @@ struct ReachabilityOptions {
   std::uint32_t token_bound = 8;
   /// Interleaving semantics: explore single-transition successors. This is
   /// sufficient for safety/boundedness of ordinary nets.
+
+  friend bool operator==(const ReachabilityOptions&,
+                         const ReachabilityOptions&) = default;
 };
 
 struct ReachabilityResult {

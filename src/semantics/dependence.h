@@ -52,6 +52,11 @@ class DependenceRelation {
 
   [[nodiscard]] std::size_t state_count() const { return direct_.size(); }
 
+  /// Identical direct relation and components (used by the analysis-cache
+  /// soundness tests).
+  friend bool operator==(const DependenceRelation&,
+                         const DependenceRelation&) = default;
+
  private:
   /// Sequential vertices (registers / environment) a port combinationally
   /// depends on, traced backwards through every arc.

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "petri/order.h"
+#include "semantics/analysis.h"
 #include "sim/batch.h"
 
 namespace camad::semantics {
@@ -88,10 +89,13 @@ EquivalenceVerdict check_data_invariant(const dcf::System& gamma,
     matched.emplace_back(p, it->second);
   }
 
-  const DependenceRelation dep_a(gamma, options.dependence);
-  const DependenceRelation dep_b(gamma_prime, options.dependence);
-  const petri::OrderRelations order_a(na);
-  const petri::OrderRelations order_b(nb);
+  const AnalysisCache cache_a(gamma);
+  const AnalysisCache cache_b(gamma_prime);
+  const DependenceRelation& dep_a = cache_a.dependence(options.dependence);
+  const DependenceRelation& dep_b =
+      cache_b.dependence(options.dependence);
+  const petri::OrderRelations& order_a = cache_a.order();
+  const petri::OrderRelations& order_b = cache_b.order();
 
   auto dependent_a = [&](PlaceId i, PlaceId j) {
     return options.strict_transitive ? dep_a.transitive(i, j)
@@ -156,11 +160,15 @@ EquivalenceVerdict differential_equivalence(
   const std::vector<sim::SimResult> results_b =
       sim::simulate_batch(gamma_prime, runs_b);
 
+  // One cache per system: the order/concurrency extraction needs are
+  // computed once, not once per environment.
+  const AnalysisCache cache_a(gamma);
+  const AnalysisCache cache_b(gamma_prime);
   for (std::size_t k = 0; k < options.environments; ++k) {
     const EventStructure sa =
-        EventStructure::extract(gamma, results_a[k].trace);
+        EventStructure::extract(gamma, results_a[k].trace, cache_a);
     const EventStructure sb =
-        EventStructure::extract(gamma_prime, results_b[k].trace);
+        EventStructure::extract(gamma_prime, results_b[k].trace, cache_b);
     std::string why;
     if (!sa.equivalent(sb, &why)) {
       verdict.holds = false;

@@ -7,6 +7,8 @@
 
 #include "petri/order.h"
 #include "petri/reachability.h"
+#include "semantics/analysis.h"
+#include "util/error.h"
 
 namespace camad::semantics {
 
@@ -32,6 +34,18 @@ std::vector<std::string> EventStructure::channels() const {
 
 EventStructure EventStructure::extract(const dcf::System& system,
                                        const sim::Trace& trace) {
+  const AnalysisCache cache(system);
+  return extract(system, trace, cache);
+}
+
+EventStructure EventStructure::extract(const dcf::System& system,
+                                       const sim::Trace& trace,
+                                       const AnalysisCache& cache) {
+  if (!cache.bound_to(system)) {
+    throw Error(
+        "EventStructure::extract: analysis cache bound to a different "
+        "system");
+  }
   EventStructure s;
   const dcf::DataPath& dp = system.datapath();
   std::unordered_map<std::string, std::size_t> occurrence;
@@ -51,13 +65,9 @@ EventStructure EventStructure::extract(const dcf::System& system,
   // ways — so events of co-markable states would pick up a ≺ pair from
   // accidental cycle timing. Such events are in the paper's "casual"
   // relation: free to occur in either order, no constraint.
-  const petri::OrderRelations order(system.control().net());
-  const std::vector<bool> co_marked =
-      petri::concurrent_places(system.control().net());
-  const std::size_t nplaces = system.control().net().place_count();
+  const petri::OrderRelations& order = cache.order();
   auto causal = [&](petri::PlaceId a, petri::PlaceId b) {
-    return order.before(a, b) &&
-           !co_marked[a.index() * nplaces + b.index()];
+    return order.before(a, b) && !cache.co_marked(a, b);
   };
   for (std::size_t i = 0; i < s.events_.size(); ++i) {
     for (std::size_t j = i + 1; j < s.events_.size(); ++j) {

@@ -27,6 +27,8 @@
 
 namespace camad::semantics {
 
+class AnalysisCache;
+
 struct Event {
   std::string channel;       ///< external vertex name
   std::size_t occurrence;    ///< k-th event on this channel (0-based)
@@ -64,9 +66,14 @@ class EventStructure {
                                 std::string* why = nullptr) const;
 
   /// Builds the structure from a simulation trace. Uses the structural
-  /// order relation ⇒ of the system's control net for ≺.
+  /// order relation ⇒ of the system's control net for ≺. The cached
+  /// overload reuses order/concurrency from `cache` (bound to `system`)
+  /// — the win when extracting structures for many traces of one system.
   static EventStructure extract(const dcf::System& system,
                                 const sim::Trace& trace);
+  static EventStructure extract(const dcf::System& system,
+                                const sim::Trace& trace,
+                                const AnalysisCache& cache);
 
   [[nodiscard]] std::string to_string() const;
 

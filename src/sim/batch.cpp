@@ -6,38 +6,37 @@
 
 namespace camad::sim {
 
-std::vector<SimResult> simulate_batch(const dcf::System& system,
-                                      std::vector<BatchRun>& runs,
-                                      std::size_t threads) {
-  std::vector<SimResult> results(runs.size());
-  if (runs.empty()) return results;
-
+std::size_t resolve_worker_count(std::size_t jobs, std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  if (threads > runs.size()) threads = runs.size();
+  if (threads > jobs) threads = jobs;
+  if (threads == 0) threads = 1;
+  return threads;
+}
 
-  if (threads == 1) {
-    Simulator simulator(system);
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      results[i] = simulator.run(runs[i].environment, runs[i].options);
-    }
-    return results;
+void parallel_jobs(std::size_t jobs, std::size_t threads,
+                   const std::function<void(std::size_t worker,
+                                            std::size_t job)>& fn) {
+  if (jobs == 0) return;
+  const std::size_t workers = resolve_worker_count(jobs, threads);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(0, i);
+    return;
   }
 
   std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::exception_ptr> errors(workers);
   std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) {
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
       try {
-        Simulator simulator(system);
         for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-             i < runs.size();
-             i = next.fetch_add(1, std::memory_order_relaxed)) {
-          results[i] = simulator.run(runs[i].environment, runs[i].options);
+             i < jobs; i = next.fetch_add(1, std::memory_order_relaxed)) {
+          fn(w, i);
         }
       } catch (...) {
         errors[w] = std::current_exception();
@@ -48,6 +47,24 @@ std::vector<SimResult> simulate_batch(const dcf::System& system,
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+std::vector<SimResult> simulate_batch(const dcf::System& system,
+                                      std::vector<BatchRun>& runs,
+                                      std::size_t threads) {
+  std::vector<SimResult> results(runs.size());
+  if (runs.empty()) return results;
+
+  // One Simulator per worker: compiled configuration plans are shared
+  // across every run that worker executes.
+  const std::size_t workers = resolve_worker_count(runs.size(), threads);
+  std::vector<std::unique_ptr<Simulator>> simulators(workers);
+  parallel_jobs(runs.size(), workers, [&](std::size_t w, std::size_t i) {
+    if (simulators[w] == nullptr) {
+      simulators[w] = std::make_unique<Simulator>(system);
+    }
+    results[i] = simulators[w]->run(runs[i].environment, runs[i].options);
+  });
   return results;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dcf/system.h"
@@ -21,6 +22,22 @@
 #include "sim/simulator.h"
 
 namespace camad::sim {
+
+/// Worker count a `jobs`-sized parallel_jobs call will actually use:
+/// `threads` (0 = hardware concurrency) capped by the job count, >= 1.
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t jobs,
+                                               std::size_t threads);
+
+/// The worker pool behind simulate_batch, exposed generically: runs
+/// `fn(worker, job)` for every job index in [0, jobs), with jobs pulled
+/// from a shared atomic counter. `worker` in [0, resolve_worker_count())
+/// identifies the executing worker for per-worker state (simulators,
+/// caches). With one worker everything runs inline on the caller's
+/// thread. Exceptions are rethrown on the calling thread after all
+/// workers finish (first-worker-first order).
+void parallel_jobs(std::size_t jobs, std::size_t threads,
+                   const std::function<void(std::size_t worker,
+                                            std::size_t job)>& fn);
 
 /// One unit of batch work: an environment (mutated in place — streams
 /// advance, exactly as simulate() would) plus the options for the run.

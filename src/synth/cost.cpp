@@ -4,6 +4,7 @@
 
 #include "graph/algorithms.h"
 #include "graph/digraph.h"
+#include "sim/batch.h"
 #include "sim/simulator.h"
 #include "util/error.h"
 
@@ -101,15 +102,36 @@ PerformanceReport measure_performance(const dcf::System& system,
   PerformanceReport report;
   report.cycle_time = estimate_cycle_time(system, lib).cycle_time;
 
+  sim::SimOptions sim_options;
+  sim_options.max_cycles = options.max_cycles;
+  sim_options.record_cycles = false;
+
+  std::vector<sim::SimResult> results;
+  if (options.share_engine) {
+    // One engine for all environments: configuration plans compile once
+    // per measurement. Serial on purpose — the optimizer parallelizes
+    // across *candidates*, so nesting another pool here would
+    // oversubscribe.
+    std::vector<sim::BatchRun> runs;
+    runs.reserve(options.environments);
+    for (std::size_t k = 0; k < options.environments; ++k) {
+      runs.push_back({sim::Environment::random_for(
+                          system, options.seed + k, options.stream_length,
+                          options.value_lo, options.value_hi),
+                      sim_options});
+    }
+    results = sim::simulate_batch(system, runs, /*threads=*/1);
+  } else {
+    for (std::size_t k = 0; k < options.environments; ++k) {
+      sim::Environment env = sim::Environment::random_for(
+          system, options.seed + k, options.stream_length, options.value_lo,
+          options.value_hi);
+      results.push_back(sim::simulate(system, env, sim_options));
+    }
+  }
+
   double total = 0;
-  for (std::size_t k = 0; k < options.environments; ++k) {
-    sim::Environment env = sim::Environment::random_for(
-        system, options.seed + k, options.stream_length, options.value_lo,
-        options.value_hi);
-    sim::SimOptions sim_options;
-    sim_options.max_cycles = options.max_cycles;
-    sim_options.record_cycles = false;
-    const sim::SimResult result = sim::simulate(system, env, sim_options);
+  for (const sim::SimResult& result : results) {
     report.all_terminated &= result.terminated;
     report.max_cycles = std::max(report.max_cycles, result.cycles);
     total += static_cast<double>(result.cycles);

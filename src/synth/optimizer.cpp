@@ -1,16 +1,18 @@
 #include "synth/optimizer.h"
 
 #include <limits>
-
-#include "util/rng.h"
+#include <optional>
+#include <utility>
 
 #include "semantics/equivalence.h"
+#include "sim/batch.h"
 #include "transform/chain.h"
 #include "transform/cleanup.h"
 #include "transform/merge.h"
-#include "transform/regshare.h"
 #include "transform/parallelize.h"
+#include "transform/regshare.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace camad::synth {
 namespace {
@@ -21,6 +23,15 @@ double objective_of(const Metrics& m, const Metrics& baseline, double lambda) {
       baseline.time_ns > 0 ? m.time_ns / baseline.time_ns : 1.0;
   return lambda * area_norm + (1.0 - lambda) * time_norm;
 }
+
+/// One evaluated search candidate: a serial master, its derived
+/// schedule, and the schedule's measured cost.
+struct Candidate {
+  dcf::System master;
+  dcf::System scheduled;
+  Metrics metrics;
+  double objective = std::numeric_limits<double>::infinity();
+};
 
 }  // namespace
 
@@ -35,16 +46,23 @@ Metrics evaluate(const dcf::System& system, const ModuleLibrary& lib,
   return m;
 }
 
+dcf::System derive_schedule(const dcf::System& master) {
+  return transform::cleanup_control(transform::parallelize(master));
+}
+
+dcf::System derive_schedule(const dcf::System& master,
+                            const semantics::AnalysisCache& cache) {
+  return transform::cleanup_control(transform::parallelize(master, cache));
+}
+
 OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
                          const OptimizerOptions& options) {
-  auto schedule = [](const dcf::System& master) {
-    // Derive the parallel schedule, then elide the pass-through
-    // control-only states compilation and fork/join realization leave.
-    return transform::cleanup_control(transform::parallelize(master));
-  };
-
   dcf::System master = serial;
-  dcf::System best = schedule(master);
+  std::optional<semantics::AnalysisCache> cache;
+  if (options.use_analysis_cache) cache.emplace(master);
+
+  dcf::System best =
+      cache ? derive_schedule(master, *cache) : derive_schedule(master);
   const Metrics baseline = evaluate(best, lib, options.measure);
 
   OptimizerResult result{best, master, baseline, baseline, {}, 0};
@@ -54,39 +72,53 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
       {"initial (no mergers, parallelized)", baseline, best_objective});
 
   for (std::size_t step = 0; step < options.max_steps; ++step) {
-    const auto pairs = transform::mergeable_pairs(master);
+    const auto pairs = cache ? transform::mergeable_pairs(master, *cache)
+                             : transform::mergeable_pairs(master);
     if (pairs.empty()) break;
 
-    double candidate_best = std::numeric_limits<double>::infinity();
-    std::size_t candidate_index = pairs.size();
-    dcf::System candidate_master;
-    dcf::System candidate_scheduled;
-    Metrics candidate_metrics;
+    // Every worker reads order/concurrency through the shared cache —
+    // force them now so first touch doesn't serialize the fan-out.
+    if (cache) cache->warm_control();
 
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      dcf::System merged =
-          transform::merge_vertices(master, pairs[i].first, pairs[i].second);
-      dcf::System scheduled = schedule(merged);
-      const Metrics metrics = evaluate(scheduled, lib, options.measure);
-      const double objective =
-          objective_of(metrics, baseline, options.area_weight);
-      if (objective < candidate_best) {
-        candidate_best = objective;
-        candidate_index = i;
-        candidate_master = std::move(merged);
-        candidate_scheduled = std::move(scheduled);
-        candidate_metrics = metrics;
+    std::vector<Candidate> candidates(pairs.size());
+    sim::parallel_jobs(
+        pairs.size(), options.eval_threads,
+        [&](std::size_t /*worker*/, std::size_t i) {
+          Candidate& c = candidates[i];
+          c.master = cache ? transform::merge_vertices(
+                                 master, pairs[i].first, pairs[i].second,
+                                 *cache)
+                           : transform::merge_vertices(
+                                 master, pairs[i].first, pairs[i].second);
+          // The merged system is a different net object per candidate:
+          // its schedule cannot reuse the master's cache.
+          c.scheduled = derive_schedule(c.master);
+          c.metrics = evaluate(c.scheduled, lib, options.measure);
+          c.objective = objective_of(c.metrics, baseline,
+                                     options.area_weight);
+        });
+
+    // Deterministic selection: minimum objective, earliest pair index on
+    // ties — exactly the serial sweep's acceptance rule, so thread count
+    // never changes the search trajectory.
+    std::size_t winner = pairs.size();
+    double winner_objective = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].objective < winner_objective) {
+        winner_objective = candidates[i].objective;
+        winner = i;
       }
     }
 
-    if (candidate_index == pairs.size() ||
-        candidate_best >= best_objective - 1e-12) {
+    if (winner == pairs.size() ||
+        winner_objective >= best_objective - 1e-12) {
       break;  // no improving merger
     }
+    Candidate& accepted = candidates[winner];
 
     if (options.verify_steps) {
       const semantics::EquivalenceVerdict verdict =
-          semantics::differential_equivalence(best, candidate_scheduled);
+          semantics::differential_equivalence(best, accepted.scheduled);
       if (!verdict.holds) {
         throw TransformError("optimizer step failed verification: " +
                              verdict.why);
@@ -95,53 +127,76 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
 
     const auto& dp = master.datapath();
     result.steps.push_back(
-        {"merge " + dp.name(pairs[candidate_index].first) + " into " +
-             dp.name(pairs[candidate_index].second),
-         candidate_metrics, candidate_best});
-    master = std::move(candidate_master);
-    best = std::move(candidate_scheduled);
-    best_objective = candidate_best;
+        {"merge " + dp.name(pairs[winner].first) + " into " +
+             dp.name(pairs[winner].second),
+         accepted.metrics, accepted.objective});
+    master = std::move(accepted.master);
+    if (cache) {
+      cache = cache->successor(master, transform::merge_preserved_analyses());
+    }
+    best = std::move(accepted.scheduled);
+    best_objective = winner_objective;
     ++result.merges_applied;
   }
 
   // Post-passes: register sharing and state chaining, each kept only if
   // it improves the objective (both change the serial master, so the
-  // schedule is re-derived).
+  // schedule is re-derived). All candidates derive from the post-merge
+  // master; evaluation fans out, acceptance stays serial and ordered.
   struct PostPass {
     const char* name;
     dcf::System master;
   };
-  std::vector<PostPass> candidates;
+  std::vector<PostPass> post;
   if (options.try_register_sharing) {
-    candidates.push_back({"share registers",
-                          transform::share_registers(master)});
+    post.push_back({"share registers",
+                    cache ? transform::share_registers(master, *cache)
+                          : transform::share_registers(master)});
   }
   if (options.try_chaining) {
-    candidates.push_back({"chain states", transform::chain_states(master)});
+    post.push_back({"chain states",
+                    cache ? transform::chain_states(master, *cache)
+                          : transform::chain_states(master)});
     if (options.try_register_sharing) {
-      candidates.push_back(
-          {"share registers + chain states",
-           transform::chain_states(transform::share_registers(master))});
+      const dcf::System& shared = post.front().master;
+      if (cache) {
+        const semantics::AnalysisCache shared_cache = cache->successor(
+            shared, transform::regshare_preserved_analyses());
+        post.push_back({"share registers + chain states",
+                        transform::chain_states(shared, shared_cache)});
+      } else {
+        post.push_back({"share registers + chain states",
+                        transform::chain_states(shared)});
+      }
     }
   }
-  for (PostPass& pass : candidates) {
-    dcf::System scheduled = schedule(pass.master);
-    const Metrics metrics = evaluate(scheduled, lib, options.measure);
-    const double objective =
-        objective_of(metrics, baseline, options.area_weight);
-    if (objective < best_objective - 1e-12) {
+
+  std::vector<Candidate> post_eval(post.size());
+  sim::parallel_jobs(post.size(), options.eval_threads,
+                     [&](std::size_t /*worker*/, std::size_t i) {
+                       Candidate& c = post_eval[i];
+                       c.scheduled = derive_schedule(post[i].master);
+                       c.metrics = evaluate(c.scheduled, lib,
+                                            options.measure);
+                       c.objective = objective_of(c.metrics, baseline,
+                                                  options.area_weight);
+                     });
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    if (post_eval[i].objective < best_objective - 1e-12) {
       if (options.verify_steps) {
         const semantics::EquivalenceVerdict verdict =
-            semantics::differential_equivalence(best, scheduled);
+            semantics::differential_equivalence(best,
+                                                post_eval[i].scheduled);
         if (!verdict.holds) {
-          throw TransformError(std::string("post-pass '") + pass.name +
+          throw TransformError(std::string("post-pass '") + post[i].name +
                                "' failed verification: " + verdict.why);
         }
       }
-      result.steps.push_back({pass.name, metrics, objective});
-      master = std::move(pass.master);
-      best = std::move(scheduled);
-      best_objective = objective;
+      result.steps.push_back(
+          {post[i].name, post_eval[i].metrics, post_eval[i].objective});
+      master = std::move(post[i].master);
+      best = std::move(post_eval[i].scheduled);
+      best_objective = post_eval[i].objective;
     }
   }
 
@@ -154,12 +209,15 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
 OptimizerResult optimize_stochastic(const dcf::System& serial,
                                     const ModuleLibrary& lib,
                                     const StochasticOptions& options) {
-  auto schedule = [](const dcf::System& master) {
-    return transform::cleanup_control(transform::parallelize(master));
-  };
+  std::optional<semantics::AnalysisCache> base;
+  if (options.base.use_analysis_cache) base.emplace(serial);
 
+  const dcf::System initial_scheduled =
+      base ? derive_schedule(serial, *base) : derive_schedule(serial);
   const Metrics baseline =
-      evaluate(schedule(serial), lib, options.base.measure);
+      evaluate(initial_scheduled, lib, options.base.measure);
+  const double initial_objective =
+      objective_of(baseline, baseline, options.base.area_weight);
   Rng rng(options.seed);
 
   OptimizerResult best_run;
@@ -167,14 +225,19 @@ OptimizerResult optimize_stochastic(const dcf::System& serial,
 
   for (std::size_t restart = 0; restart < options.restarts; ++restart) {
     dcf::System master = serial;
-    dcf::System scheduled = schedule(master);
-    double objective = objective_of(
-        evaluate(scheduled, lib, options.base.measure), baseline,
-        options.base.area_weight);
+    // The restart's master is a fresh copy of the unchanged serial
+    // design, so every analysis of `base` is valid for it.
+    std::optional<semantics::AnalysisCache> cache;
+    if (base) {
+      cache = base->successor(master, semantics::PreservedAnalyses::all());
+    }
+    dcf::System scheduled = initial_scheduled;
+    double objective = initial_objective;
     OptimizerResult run{scheduled, master, baseline, baseline, {}, 0};
 
     for (std::size_t step = 0; step < options.base.max_steps; ++step) {
-      auto pairs = transform::mergeable_pairs(master);
+      auto pairs = cache ? transform::mergeable_pairs(master, *cache)
+                         : transform::mergeable_pairs(master);
       if (pairs.empty()) break;
       for (std::size_t i = pairs.size(); i > 1; --i) {
         std::swap(pairs[i - 1], pairs[rng.below(i)]);
@@ -182,14 +245,20 @@ OptimizerResult optimize_stochastic(const dcf::System& serial,
       // First *improving* merger in the shuffled order.
       bool improved = false;
       for (const auto& [vi, vj] : pairs) {
-        dcf::System merged = transform::merge_vertices(master, vi, vj);
-        dcf::System candidate = schedule(merged);
+        dcf::System merged =
+            cache ? transform::merge_vertices(master, vi, vj, *cache)
+                  : transform::merge_vertices(master, vi, vj);
+        dcf::System candidate = derive_schedule(merged);
         const Metrics metrics =
             evaluate(candidate, lib, options.base.measure);
         const double candidate_objective =
             objective_of(metrics, baseline, options.base.area_weight);
         if (candidate_objective < objective - 1e-12) {
           master = std::move(merged);
+          if (cache) {
+            cache = cache->successor(
+                master, transform::merge_preserved_analyses());
+          }
           scheduled = std::move(candidate);
           objective = candidate_objective;
           ++run.merges_applied;
@@ -212,8 +281,7 @@ OptimizerResult optimize_stochastic(const dcf::System& serial,
   }
   if (best_run.steps.empty()) {
     best_run.steps.push_back({"initial (stochastic)", baseline,
-                              objective_of(baseline, baseline,
-                                           options.base.area_weight)});
+                              initial_objective});
     best_run.final = baseline;
   }
   return best_run;

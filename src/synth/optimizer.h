@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dcf/system.h"
+#include "semantics/analysis.h"
 #include "synth/cost.h"
 #include "synth/library.h"
 
@@ -49,6 +50,17 @@ struct OptimizerOptions {
   /// adjacent states, saving cycles at zero area cost).
   bool try_register_sharing = true;
   bool try_chaining = true;
+  /// Share one semantics::AnalysisCache across the merge-pair sweep: the
+  /// Def 4.6 merger preserves the control net, so reachability,
+  /// concurrency and structural order are explored once per accepted
+  /// step instead of once per candidate. Off = recompute everything per
+  /// candidate (the pre-cache behaviour; results are identical).
+  bool use_analysis_cache = true;
+  /// Worker threads for candidate evaluation (0 = hardware concurrency,
+  /// 1 = serial). Candidates are independent and selection is a
+  /// deterministic earliest-index argmin, so results are identical
+  /// whatever the count.
+  std::size_t eval_threads = 0;
 };
 
 struct OptimizerStep {
@@ -68,6 +80,15 @@ struct OptimizerResult {
 
 Metrics evaluate(const dcf::System& system, const ModuleLibrary& lib,
                  const MeasureOptions& options);
+
+/// The schedule every search strategy derives from a serial master:
+/// chain parallelization followed by control cleanup (the fork/join
+/// realization and compilation leave pass-through control-only states).
+/// The cached overload (cache bound to `master`) reuses the master's
+/// dependence relation.
+dcf::System derive_schedule(const dcf::System& master);
+dcf::System derive_schedule(const dcf::System& master,
+                            const semantics::AnalysisCache& cache);
 
 /// Optimizes a *serial* compiled design. Throws TransformError if
 /// verification is enabled and a step fails it.

@@ -93,32 +93,60 @@ dcf::System merge_states(const dcf::System& system, PlaceId s1,
 
 bool can_chain(const dcf::System& system, PlaceId s1,
                const ChainOptions& options) {
+  const semantics::AnalysisCache cache(system);
+  return can_chain(system, s1, cache, options);
+}
+
+bool can_chain(const dcf::System& system, PlaceId s1,
+               const semantics::AnalysisCache& cache,
+               const ChainOptions& options) {
+  if (!(cache.bound_to(system))) {
+    throw Error("can_chain: analysis cache bound to a different system");
+  }
   const auto link = linear_successor(system, s1);
   if (!link) return false;
   const PlaceId s2 = link->second;
-  const semantics::DependenceRelation dep(system, options.dependence);
-  return !dep.direct(s1, s2) && association_disjoint(system, s1, s2);
+  return !cache.dependence(options.dependence).direct(s1, s2) &&
+         association_disjoint(system, s1, s2);
 }
 
 dcf::System chain_states(const dcf::System& system,
                          const ChainOptions& options, ChainStats* stats) {
+  const semantics::AnalysisCache cache(system);
+  return chain_states(system, cache, options, stats);
+}
+
+dcf::System chain_states(const dcf::System& system,
+                         const semantics::AnalysisCache& cache,
+                         const ChainOptions& options, ChainStats* stats) {
+  if (!(cache.bound_to(system))) {
+    throw Error("chain_states: analysis cache bound to a different system");
+  }
   ChainStats local;
   dcf::System current = system;
+  // The cache serves the first scan only: every accepted merge rewrites
+  // the control net, invalidating everything.
+  const semantics::DependenceRelation* dep =
+      &cache.dependence(options.dependence);
+  std::optional<semantics::DependenceRelation> recomputed;
   bool merged = true;
   while (merged) {
     merged = false;
-    const semantics::DependenceRelation dep(current, options.dependence);
     for (PlaceId s1 : current.control().net().places()) {
       const auto link = linear_successor(current, s1);
       if (!link) continue;
       const PlaceId s2 = link->second;
-      if (dep.direct(s1, s2) || !association_disjoint(current, s1, s2)) {
+      if (dep->direct(s1, s2) || !association_disjoint(current, s1, s2)) {
         continue;
       }
       current = merge_states(current, s1, link->first, s2);
       ++local.states_merged;
       merged = true;
       break;  // ids changed; rescan
+    }
+    if (merged) {
+      recomputed.emplace(current, options.dependence);
+      dep = &*recomputed;
     }
   }
   if (stats != nullptr) *stats = local;

@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "dcf/system.h"
+#include "semantics/analysis.h"
 #include "semantics/dependence.h"
 
 namespace camad::transform {
@@ -30,12 +31,23 @@ struct ChainStats {
 };
 
 /// Returns true iff S2 (the unique successor of S1 through an unguarded
-/// 1-in/1-out transition) may be chained into S1.
+/// 1-in/1-out transition) may be chained into S1. The cached overload
+/// pulls the dependence relation from `cache` (bound to `system`).
 bool can_chain(const dcf::System& system, petri::PlaceId s1,
+               const ChainOptions& options = {});
+bool can_chain(const dcf::System& system, petri::PlaceId s1,
+               const semantics::AnalysisCache& cache,
                const ChainOptions& options = {});
 
 /// Repeatedly chains every eligible adjacent pair until a fixpoint.
+/// Chaining rewrites the control net, so it preserves *no* analyses; the
+/// cached overload only serves the first fixpoint iteration (bound to the
+/// input system) — later iterations recompute on the rewritten net.
 dcf::System chain_states(const dcf::System& system,
+                         const ChainOptions& options = {},
+                         ChainStats* stats = nullptr);
+dcf::System chain_states(const dcf::System& system,
+                         const semantics::AnalysisCache& cache,
                          const ChainOptions& options = {},
                          ChainStats* stats = nullptr);
 

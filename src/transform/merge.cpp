@@ -1,6 +1,7 @@
 #include "transform/merge.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "petri/order.h"
 #include "petri/reachability.h"
@@ -48,42 +49,38 @@ std::vector<PlaceId> reading_states(const dcf::System& system, VertexId v) {
   return out;
 }
 
-/// Shared relations for one sweep of pairwise checks. The structural
-/// order α is cycle-blind — inside a loop, the back edge puts *every*
-/// pair of body states in F⁺ both ways, so two states of concurrent
-/// branches within the loop body count as "sequential order" although
-/// they are co-marked in every iteration. Sharing a unit between such
-/// states is a drive conflict, so legality additionally consults the
-/// reachability-based concurrency relation (the semantic refinement).
-struct MergeRelations {
-  petri::OrderRelations order;
-  std::vector<bool> concurrent;
-  std::size_t nplaces;
-
-  explicit MergeRelations(const petri::Net& net)
-      : order(net),
-        concurrent(petri::concurrent_places(net)),
-        nplaces(net.place_count()) {}
-
-  [[nodiscard]] bool co_marked(PlaceId a, PlaceId b) const {
-    return concurrent[a.index() * nplaces + b.index()];
-  }
-};
-
 MergeCheck can_merge_with(const dcf::System& system, VertexId vi, VertexId vj,
-                          const MergeRelations& relations);
+                          const semantics::AnalysisCache& cache);
 
 }  // namespace
 
+semantics::PreservedAnalyses merge_preserved_analyses() {
+  return semantics::PreservedAnalyses::control_net();
+}
+
 MergeCheck can_merge(const dcf::System& system, VertexId vi, VertexId vj) {
-  return can_merge_with(system, vi, vj,
-                        MergeRelations(system.control().net()));
+  const semantics::AnalysisCache cache(system);
+  return can_merge_with(system, vi, vj, cache);
+}
+
+MergeCheck can_merge(const dcf::System& system, VertexId vi, VertexId vj,
+                     const semantics::AnalysisCache& cache) {
+  if (!(cache.bound_to(system))) {
+    throw Error("can_merge: analysis cache bound to a different system");
+  }
+  return can_merge_with(system, vi, vj, cache);
 }
 
 namespace {
 
+/// The structural order α is cycle-blind — inside a loop, the back edge
+/// puts *every* pair of body states in F⁺ both ways, so two states of
+/// concurrent branches within the loop body count as "sequential order"
+/// although they are co-marked in every iteration. Sharing a unit between
+/// such states is a drive conflict, so legality additionally consults the
+/// reachability-based concurrency relation (the semantic refinement).
 MergeCheck can_merge_with(const dcf::System& system, VertexId vi, VertexId vj,
-                          const MergeRelations& relations) {
+                          const semantics::AnalysisCache& cache) {
   const dcf::DataPath& dp = system.datapath();
   auto no = [](std::string why) { return MergeCheck{false, std::move(why)}; };
 
@@ -124,12 +121,12 @@ MergeCheck can_merge_with(const dcf::System& system, VertexId vi, VertexId vj,
         return no("state " + system.control().net().name(a) +
                   " uses both vertices simultaneously");
       }
-      if (!relations.order.sequential(a, b)) {
+      if (!cache.order().sequential(a, b)) {
         return no("states " + system.control().net().name(a) + " and " +
                   system.control().net().name(b) +
                   " are not in sequential order");
       }
-      if (relations.co_marked(a, b)) {
+      if (cache.co_marked(a, b)) {
         return no("states " + system.control().net().name(a) + " and " +
                   system.control().net().name(b) +
                   " are concurrently markable; sharing one unit between " +
@@ -160,7 +157,14 @@ MergeCheck can_merge_with(const dcf::System& system, VertexId vi, VertexId vj,
 
 dcf::System merge_vertices(const dcf::System& system, VertexId vi,
                            VertexId vj) {
-  const MergeCheck check = can_merge(system, vi, vj);
+  const semantics::AnalysisCache cache(system);
+  return merge_vertices(system, vi, vj, cache);
+}
+
+dcf::System merge_vertices(const dcf::System& system, VertexId vi,
+                           VertexId vj,
+                           const semantics::AnalysisCache& cache) {
+  const MergeCheck check = can_merge(system, vi, vj, cache);
   if (!check.legal) {
     throw TransformError("merge_vertices: " + check.why);
   }
@@ -228,14 +232,22 @@ dcf::System merge_vertices(const dcf::System& system, VertexId vi,
 
 std::vector<std::pair<VertexId, VertexId>> mergeable_pairs(
     const dcf::System& system) {
+  const semantics::AnalysisCache cache(system);
+  return mergeable_pairs(system, cache);
+}
+
+std::vector<std::pair<VertexId, VertexId>> mergeable_pairs(
+    const dcf::System& system, const semantics::AnalysisCache& cache) {
+  if (!(cache.bound_to(system))) {
+    throw Error("mergeable_pairs: analysis cache bound to a different system");
+  }
   std::vector<std::pair<VertexId, VertexId>> out;
   const std::size_t n = system.datapath().vertex_count();
-  const MergeRelations relations(system.control().net());
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = j + 1; i < n; ++i) {
       const VertexId vi(static_cast<VertexId::underlying_type>(i));
       const VertexId vj(static_cast<VertexId::underlying_type>(j));
-      if (can_merge_with(system, vi, vj, relations).legal) {
+      if (can_merge_with(system, vi, vj, cache).legal) {
         out.emplace_back(vi, vj);
       }
     }
@@ -244,13 +256,31 @@ std::vector<std::pair<VertexId, VertexId>> mergeable_pairs(
 }
 
 dcf::System merge_all(const dcf::System& system, std::size_t* merges) {
+  const semantics::AnalysisCache cache(system);
+  return merge_all(system, cache, merges);
+}
+
+dcf::System merge_all(const dcf::System& system,
+                      const semantics::AnalysisCache& cache,
+                      std::size_t* merges) {
+  if (!(cache.bound_to(system))) {
+    throw Error("merge_all: analysis cache bound to a different system");
+  }
   dcf::System current = system;
+  // `current` starts as an identical copy of `system`, so every analysis
+  // of the caller's cache is valid for it; rebind so fixpoint queries hit
+  // a cache bound to the object they pass.
+  std::optional<semantics::AnalysisCache> carried =
+      cache.successor(current, semantics::PreservedAnalyses::all());
+  const semantics::AnalysisCache* active = &*carried;
   std::size_t count = 0;
   while (true) {
-    const auto pairs = mergeable_pairs(current);
+    const auto pairs = mergeable_pairs(current, *active);
     if (pairs.empty()) break;
     current = merge_vertices(current, pairs.front().first,
-                             pairs.front().second);
+                             pairs.front().second, *active);
+    carried = active->successor(current, merge_preserved_analyses());
+    active = &*carried;
     ++count;
   }
   if (merges != nullptr) *merges = count;

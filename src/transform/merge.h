@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dcf/system.h"
+#include "semantics/analysis.h"
 
 namespace camad::transform {
 
@@ -26,22 +27,45 @@ struct MergeCheck {
   std::string why;  ///< reason when illegal
 };
 
-/// Checks Def 4.6's preconditions for merging `vi` into `vj`.
+/// Analyses of the input that stay valid for the merged system: the
+/// merger rebuilds the control net verbatim, so every Petri-net analysis
+/// (reachability, concurrency, structural order) carries over. The
+/// dependence relation does *not* — vertex ids are renumbered and the
+/// merged COM's output supports are unions of the originals', which can
+/// grow clause (d) control dependences.
+[[nodiscard]] semantics::PreservedAnalyses merge_preserved_analyses();
+
+/// Checks Def 4.6's preconditions for merging `vi` into `vj`. The cached
+/// overload pulls the structural order and the reachable-concurrency
+/// relation from `cache` (which must be bound to `system`) instead of
+/// recomputing them — this is the hot path of the optimizer's pair sweep.
 MergeCheck can_merge(const dcf::System& system, dcf::VertexId vi,
                      dcf::VertexId vj);
+MergeCheck can_merge(const dcf::System& system, dcf::VertexId vi,
+                     dcf::VertexId vj, const semantics::AnalysisCache& cache);
 
 /// Performs the merger; throws TransformError unless can_merge passes.
 /// Vertex ids are renumbered (V_i disappears); arc ids are preserved.
 dcf::System merge_vertices(const dcf::System& system, dcf::VertexId vi,
                            dcf::VertexId vj);
+dcf::System merge_vertices(const dcf::System& system, dcf::VertexId vi,
+                           dcf::VertexId vj,
+                           const semantics::AnalysisCache& cache);
 
 /// All currently legal (vi, vj) pairs, vi > vj (merge higher id into
 /// lower, keeping ids stable for chained mergers).
 std::vector<std::pair<dcf::VertexId, dcf::VertexId>> mergeable_pairs(
     const dcf::System& system);
+std::vector<std::pair<dcf::VertexId, dcf::VertexId>> mergeable_pairs(
+    const dcf::System& system, const semantics::AnalysisCache& cache);
 
 /// Greedily merges legal pairs until none remain; returns the final
-/// system and the number of mergers performed.
+/// system and the number of mergers performed. Carries one AnalysisCache
+/// across the whole fixpoint (mergers preserve the control net); the
+/// cached overload seeds the fixpoint with the caller's cache.
 dcf::System merge_all(const dcf::System& system, std::size_t* merges = nullptr);
+dcf::System merge_all(const dcf::System& system,
+                      const semantics::AnalysisCache& cache,
+                      std::size_t* merges = nullptr);
 
 }  // namespace camad::transform

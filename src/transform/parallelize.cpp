@@ -106,8 +106,20 @@ bool resource_conflict(const dcf::System& system, PlaceId a, PlaceId b) {
 dcf::System parallelize(const dcf::System& system,
                         const ParallelizeOptions& options,
                         ParallelizeStats* stats) {
+  const semantics::AnalysisCache cache(system);
+  return parallelize(system, cache, options, stats);
+}
+
+dcf::System parallelize(const dcf::System& system,
+                        const semantics::AnalysisCache& cache,
+                        const ParallelizeOptions& options,
+                        ParallelizeStats* stats) {
+  if (!(cache.bound_to(system))) {
+    throw Error("parallelize: analysis cache bound to a different system");
+  }
   const petri::Net& net = system.control().net();
-  const semantics::DependenceRelation dep(system, options.dependence);
+  const semantics::DependenceRelation& dep =
+      cache.dependence(options.dependence);
 
   ParallelizeStats local_stats;
   std::vector<Segment> segments = find_segments(system, options.min_segment);

@@ -25,6 +25,7 @@
 #include <cstddef>
 
 #include "dcf/system.h"
+#include "semantics/analysis.h"
 #include "semantics/dependence.h"
 
 namespace camad::transform {
@@ -52,7 +53,15 @@ struct ParallelizeStats {
 /// Returns the transformed system; the original is untouched. The result
 /// keeps every original state (same names, same C, same M0), so
 /// semantics::check_data_invariant can compare the two directly.
+/// Parallelization rewrites the control net (fork/join realization), so
+/// it preserves no analyses; the cached overload (cache bound to
+/// `system`) reuses the input's dependence relation, the only analysis
+/// the transformation consumes.
 dcf::System parallelize(const dcf::System& system,
+                        const ParallelizeOptions& options = {},
+                        ParallelizeStats* stats = nullptr);
+dcf::System parallelize(const dcf::System& system,
+                        const semantics::AnalysisCache& cache,
                         const ParallelizeOptions& options = {},
                         ParallelizeStats* stats = nullptr);
 

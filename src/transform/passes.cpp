@@ -1,0 +1,210 @@
+#include "transform/passes.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "transform/chain.h"
+#include "transform/cleanup.h"
+#include "transform/merge.h"
+#include "transform/parallelize.h"
+#include "transform/regshare.h"
+#include "util/error.h"
+
+namespace camad::transform {
+namespace {
+
+class ParallelizePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "parallelize";
+  }
+  [[nodiscard]] semantics::PreservedAnalyses preserves() const override {
+    return semantics::PreservedAnalyses::none();
+  }
+  [[nodiscard]] dcf::System run(
+      const dcf::System& system,
+      const semantics::AnalysisCache& cache) override {
+    return transform::parallelize(system, cache, {}, &stats_);
+  }
+  [[nodiscard]] std::string counters() const override {
+    std::ostringstream out;
+    out << stats_.segments_transformed << "/" << stats_.segments_found
+        << " segment(s), " << stats_.helper_places << " helper place(s)";
+    return out.str();
+  }
+
+ private:
+  ParallelizeStats stats_;
+};
+
+class MergeAllPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "merge-all"; }
+  [[nodiscard]] semantics::PreservedAnalyses preserves() const override {
+    return merge_preserved_analyses();
+  }
+  [[nodiscard]] dcf::System run(
+      const dcf::System& system,
+      const semantics::AnalysisCache& cache) override {
+    return merge_all(system, cache, &merges_);
+  }
+  [[nodiscard]] std::string counters() const override {
+    return std::to_string(merges_) + " merger(s)";
+  }
+
+ private:
+  std::size_t merges_ = 0;
+};
+
+class RegSharePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "regshare"; }
+  [[nodiscard]] semantics::PreservedAnalyses preserves() const override {
+    return regshare_preserved_analyses();
+  }
+  [[nodiscard]] dcf::System run(
+      const dcf::System& system,
+      const semantics::AnalysisCache& cache) override {
+    return share_registers(system, cache, &stats_);
+  }
+  [[nodiscard]] std::string counters() const override {
+    std::ostringstream out;
+    out << stats_.registers_before << " -> " << stats_.registers_after
+        << " register(s), " << stats_.interference_edges
+        << " interference edge(s)";
+    return out.str();
+  }
+
+ private:
+  RegShareStats stats_;
+};
+
+class ChainPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "chain"; }
+  [[nodiscard]] semantics::PreservedAnalyses preserves() const override {
+    return semantics::PreservedAnalyses::none();
+  }
+  [[nodiscard]] dcf::System run(
+      const dcf::System& system,
+      const semantics::AnalysisCache& cache) override {
+    return chain_states(system, cache, {}, &stats_);
+  }
+  [[nodiscard]] std::string counters() const override {
+    return std::to_string(stats_.states_merged) + " state(s) chained";
+  }
+
+ private:
+  ChainStats stats_;
+};
+
+class CleanupPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cleanup"; }
+  [[nodiscard]] semantics::PreservedAnalyses preserves() const override {
+    return semantics::PreservedAnalyses::none();
+  }
+  [[nodiscard]] dcf::System run(
+      const dcf::System& system,
+      const semantics::AnalysisCache& /*cache*/) override {
+    return cleanup_control(system, &stats_);
+  }
+  [[nodiscard]] std::string counters() const override {
+    return std::to_string(stats_.states_removed) + " state(s) removed";
+  }
+
+ private:
+  CleanupStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_pass(std::string_view name) {
+  if (name == "parallelize") return std::make_unique<ParallelizePass>();
+  if (name == "merge-all") return std::make_unique<MergeAllPass>();
+  if (name == "regshare") return std::make_unique<RegSharePass>();
+  if (name == "chain") return std::make_unique<ChainPass>();
+  if (name == "cleanup") return std::make_unique<CleanupPass>();
+  throw TransformError("unknown pass '" + std::string(name) +
+                       "' (registered: parallelize, merge-all, regshare, "
+                       "chain, cleanup)");
+}
+
+std::vector<std::string_view> registered_passes() {
+  return {"parallelize", "merge-all", "regshare", "chain", "cleanup"};
+}
+
+PassPipeline& PassPipeline::add(std::unique_ptr<Pass> pass) {
+  if (!(pass != nullptr)) {
+    throw Error("PassPipeline::add: null pass");
+  }
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassPipeline& PassPipeline::add(std::string_view name) {
+  return add(make_pass(name));
+}
+
+PassPipeline PassPipeline::from_spec(std::string_view spec) {
+  PassPipeline pipeline;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string_view token =
+        spec.substr(start, comma == std::string_view::npos ? spec.size() - start
+                                                           : comma - start);
+    if (!token.empty()) pipeline.add(token);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (pipeline.size() == 0) {
+    throw TransformError("empty pass specification '" + std::string(spec) +
+                         "'");
+  }
+  return pipeline;
+}
+
+dcf::System PassPipeline::run(const dcf::System& initial) {
+  stats_.clear();
+  cache_stats_ = {};
+  dcf::System current = initial;
+  semantics::AnalysisCache cache(current);
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassStats record;
+    record.name = std::string(pass->name());
+    record.states_before = current.control().state_count();
+    record.vertices_before = current.datapath().vertex_count();
+    const auto t0 = std::chrono::steady_clock::now();
+    dcf::System next = pass->run(current, cache);
+    const auto t1 = std::chrono::steady_clock::now();
+    record.seconds = std::chrono::duration<double>(t1 - t0).count();
+    record.states_after = next.control().state_count();
+    record.vertices_after = next.datapath().vertex_count();
+    record.counters = pass->counters();
+    stats_.push_back(std::move(record));
+    cache_stats_ += cache.stats();
+    current = std::move(next);
+    cache = cache.successor(current, pass->preserves());
+  }
+  // The final successor holds transfer counts not yet folded in.
+  cache_stats_ += cache.stats();
+  return current;
+}
+
+std::string PassPipeline::stats_to_string() const {
+  std::ostringstream out;
+  for (const PassStats& s : stats_) {
+    out << s.name << ": " << s.states_before << " -> " << s.states_after
+        << " state(s), " << s.vertices_before << " -> " << s.vertices_after
+        << " vertice(s), "
+        << static_cast<long long>(s.seconds * 1e6 + 0.5) << " us";
+    if (!s.counters.empty()) out << " [" << s.counters << "]";
+    out << '\n';
+  }
+  out << cache_stats_.to_string() << '\n';
+  return out.str();
+}
+
+}  // namespace camad::transform

@@ -1,10 +1,5 @@
 #include "transform/pipeline.h"
 
-#include "transform/chain.h"
-#include "transform/cleanup.h"
-#include "transform/merge.h"
-#include "transform/parallelize.h"
-#include "transform/regshare.h"
 #include "util/error.h"
 
 namespace camad::transform {
@@ -13,7 +8,8 @@ Pipeline::Pipeline(dcf::System initial) : current_(std::move(initial)) {}
 
 Pipeline& Pipeline::run(
     const std::string& name,
-    const std::function<dcf::System(const dcf::System&)>& pass) {
+    const std::function<dcf::System(const dcf::System&)>& pass,
+    const semantics::PreservedAnalyses& preserved) {
   dcf::System next = pass(current_);
   if (verify_) {
     const semantics::EquivalenceVerdict verdict =
@@ -30,43 +26,48 @@ Pipeline& Pipeline::run(
                  " -> " + std::to_string(next.datapath().vertex_count()) +
                  " vertices");
   current_ = std::move(next);
+  if (cache_.has_value()) {
+    semantics::AnalysisCache next_cache = cache_->successor(current_, preserved);
+    cache_ = std::move(next_cache);
+  }
   return *this;
 }
 
+Pipeline& Pipeline::run_registered(std::string_view name,
+                                   const std::string& log_name) {
+  const std::unique_ptr<Pass> pass = make_pass(name);
+  if (!cache_.has_value() || !cache_->bound_to(current_)) {
+    cache_.emplace(current_);
+  }
+  const semantics::AnalysisCache& cache = *cache_;
+  return run(
+      log_name, [&](const dcf::System& s) { return pass->run(s, cache); },
+      pass->preserves());
+}
+
 Pipeline& Pipeline::parallelize() {
-  return run("parallelize", [](const dcf::System& s) {
-    return transform::parallelize(s);
-  });
+  return run_registered("parallelize", "parallelize");
 }
 
 Pipeline& Pipeline::merge_all() {
-  return run("merge_all", [](const dcf::System& s) {
-    return transform::merge_all(s);
-  });
+  return run_registered("merge-all", "merge_all");
 }
 
 Pipeline& Pipeline::share_registers() {
-  return run("share_registers", [](const dcf::System& s) {
-    return transform::share_registers(s);
-  });
+  return run_registered("regshare", "share_registers");
 }
 
 Pipeline& Pipeline::chain_states() {
-  return run("chain_states", [](const dcf::System& s) {
-    return transform::chain_states(s);
-  });
+  return run_registered("chain", "chain_states");
 }
 
-Pipeline& Pipeline::cleanup() {
-  return run("cleanup", [](const dcf::System& s) {
-    return transform::cleanup_control(s);
-  });
-}
+Pipeline& Pipeline::cleanup() { return run_registered("cleanup", "cleanup"); }
 
 Pipeline& Pipeline::apply(
     const std::string& name,
     const std::function<dcf::System(const dcf::System&)>& pass) {
-  return run(name, pass);
+  // An arbitrary System -> System function makes no preservation claim.
+  return run(name, pass, semantics::PreservedAnalyses::none());
 }
 
 Pipeline& Pipeline::verify_each(

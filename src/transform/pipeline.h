@@ -8,11 +8,15 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dcf/system.h"
+#include "semantics/analysis.h"
 #include "semantics/equivalence.h"
+#include "transform/passes.h"
 
 namespace camad::transform {
 
@@ -43,9 +47,15 @@ class Pipeline {
 
  private:
   Pipeline& run(const std::string& name,
-                const std::function<dcf::System(const dcf::System&)>& pass);
+                const std::function<dcf::System(const dcf::System&)>& pass,
+                const semantics::PreservedAnalyses& preserved);
+  /// Built-ins route through the pass registry so they share one
+  /// AnalysisCache across steps (carried per each pass's declaration).
+  /// `log_name` keeps the historical snake_case log labels stable.
+  Pipeline& run_registered(std::string_view name, const std::string& log_name);
 
   dcf::System current_;
+  std::optional<semantics::AnalysisCache> cache_;
   std::vector<std::string> log_;
   bool verify_ = false;
   semantics::DifferentialOptions verify_options_;

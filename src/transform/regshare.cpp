@@ -256,6 +256,16 @@ LivenessResult analyze_liveness(const dcf::System& system) {
 
 graph::UndirectedGraph interference_graph(const dcf::System& system,
                                           const LivenessResult& liveness) {
+  const semantics::AnalysisCache cache(system);
+  return interference_graph(system, liveness, cache);
+}
+
+graph::UndirectedGraph interference_graph(
+    const dcf::System& system, const LivenessResult& liveness,
+    const semantics::AnalysisCache& cache) {
+  if (!(cache.bound_to(system))) {
+    throw Error("interference_graph: analysis cache bound to a different system");
+  }
   const std::size_t nregs = liveness.registers.size();
   const std::size_t nstates = liveness.live_in.size();
   graph::UndirectedGraph graph(nregs);
@@ -288,14 +298,12 @@ graph::UndirectedGraph interference_graph(const dcf::System& system,
   // structural ∥ is cycle-blind — a loop's back edge makes concurrent
   // branch states inside the body F⁺-related both ways, hiding them from
   // ∥ — so the reachability-based co-marking relation is consulted too.
-  const petri::OrderRelations order(system.control().net());
-  const std::vector<bool> co_marked =
-      petri::concurrent_places(system.control().net());
+  const petri::OrderRelations& order = cache.order();
   for (std::size_t i = 0; i < nstates; ++i) {
     for (std::size_t j = i + 1; j < nstates; ++j) {
       const PlaceId si(static_cast<PlaceId::underlying_type>(i));
       const PlaceId sj(static_cast<PlaceId::underlying_type>(j));
-      if (!order.parallel(si, sj) && !co_marked[i * nstates + j]) continue;
+      if (!order.parallel(si, sj) && !cache.co_marked(si, sj)) continue;
       DynamicBitset a = liveness.live_in[i];
       a |= liveness.writes[i];
       DynamicBitset b = liveness.live_in[j];
@@ -306,11 +314,31 @@ graph::UndirectedGraph interference_graph(const dcf::System& system,
   return graph;
 }
 
+const LivenessResult& cached_liveness(const semantics::AnalysisCache& cache) {
+  return cache.slot<LivenessResult>(
+      semantics::Analysis::kLiveness,
+      [](const dcf::System& system) { return analyze_liveness(system); });
+}
+
+semantics::PreservedAnalyses regshare_preserved_analyses() {
+  return semantics::PreservedAnalyses::control_net();
+}
+
 dcf::System share_registers(const dcf::System& system, RegShareStats* stats) {
+  const semantics::AnalysisCache cache(system);
+  return share_registers(system, cache, stats);
+}
+
+dcf::System share_registers(const dcf::System& system,
+                            const semantics::AnalysisCache& cache,
+                            RegShareStats* stats) {
+  if (!(cache.bound_to(system))) {
+    throw Error("share_registers: analysis cache bound to a different system");
+  }
   const dcf::DataPath& dp = system.datapath();
-  const LivenessResult liveness = analyze_liveness(system);
+  const LivenessResult& liveness = cached_liveness(cache);
   const graph::UndirectedGraph interference =
-      interference_graph(system, liveness);
+      interference_graph(system, liveness, cache);
   const graph::ColoringResult coloring = graph::color_dsatur(interference);
 
   RegShareStats local;

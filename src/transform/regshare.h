@@ -39,6 +39,7 @@
 
 #include "dcf/system.h"
 #include "graph/coloring.h"
+#include "semantics/analysis.h"
 #include "util/bitset.h"
 
 namespace camad::transform {
@@ -60,9 +61,18 @@ struct LivenessResult {
 /// whenever some transition consumes S and produces S').
 LivenessResult analyze_liveness(const dcf::System& system);
 
-/// Interference graph over `liveness.registers`.
+/// Liveness memoized in `cache` (Analysis::kLiveness slot) — computed at
+/// most once per cache generation.
+const LivenessResult& cached_liveness(const semantics::AnalysisCache& cache);
+
+/// Interference graph over `liveness.registers`. The cached overload
+/// pulls the structural order and co-marking relation from `cache`
+/// (bound to `system`) instead of recomputing them.
 graph::UndirectedGraph interference_graph(const dcf::System& system,
                                           const LivenessResult& liveness);
+graph::UndirectedGraph interference_graph(
+    const dcf::System& system, const LivenessResult& liveness,
+    const semantics::AnalysisCache& cache);
 
 struct RegShareStats {
   std::size_t registers_before = 0;
@@ -70,10 +80,18 @@ struct RegShareStats {
   std::size_t interference_edges = 0;
 };
 
+/// Analyses that stay valid across share_registers: the control net is
+/// copied verbatim, so all Petri-net analyses carry over. Dependence and
+/// liveness do not (vertex ids are renumbered, supports merge).
+[[nodiscard]] semantics::PreservedAnalyses regshare_preserved_analyses();
+
 /// Allocates physical registers by colouring and rebuilds the system with
 /// each colour class merged into one register. Arc identities are
 /// preserved (C mappings stay valid); guard ports are re-anchored.
 dcf::System share_registers(const dcf::System& system,
+                            RegShareStats* stats = nullptr);
+dcf::System share_registers(const dcf::System& system,
+                            const semantics::AnalysisCache& cache,
                             RegShareStats* stats = nullptr);
 
 }  // namespace camad::transform

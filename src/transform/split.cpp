@@ -30,6 +30,10 @@ bool is_moved(const std::vector<PlaceId>& moved, PlaceId s) {
 
 }  // namespace
 
+semantics::PreservedAnalyses split_preserved_analyses() {
+  return semantics::PreservedAnalyses::control_net();
+}
+
 SplitCheck can_split(const dcf::System& system, VertexId v,
                      const std::vector<PlaceId>& moved_states) {
   const dcf::DataPath& dp = system.datapath();

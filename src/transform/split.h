@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dcf/system.h"
+#include "semantics/analysis.h"
 
 namespace camad::transform {
 
@@ -18,6 +19,10 @@ struct SplitCheck {
   bool legal = false;
   std::string why;
 };
+
+/// Like the merger it inverts, splitting copies the control net verbatim:
+/// every Petri-net analysis of the input stays valid for the output.
+[[nodiscard]] semantics::PreservedAnalyses split_preserved_analyses();
 
 /// Checks that `moved_states`' uses of `v` can move to a fresh copy:
 /// `v` must be a combinatorial internal unit, every moved state must be

@@ -256,7 +256,7 @@ TEST(Dot, ProducesWellFormedGraph) {
 
 TEST(Dot, FinishTwiceThrows) {
   DotWriter dot("g");
-  dot.finish();
+  (void)dot.finish();
   EXPECT_THROW(dot.finish(), Error);
 }
 

@@ -37,6 +37,7 @@
 #include "transform/cleanup.h"
 #include "transform/merge.h"
 #include "transform/parallelize.h"
+#include "transform/passes.h"
 #include "transform/regshare.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -81,6 +82,7 @@ constexpr const char* kUsage =
     "  check:     --reachable --strict-rule5\n"
     "  compile:   --out design.sys --no-fold\n"
     "  transform: --parallelize --merge-all --regshare --chain --cleanup\n"
+    "             --passes=name,name,... --print-pass-stats\n"
     "             --out result.sys (passes run in the listed order)\n"
     "  synth:  --lambda L --max-steps N --netlist PATH --dot PATH "
     "--no-verify\n"
@@ -96,10 +98,21 @@ std::optional<Args> parse_args(int argc, char** argv) {
   // Options that take a value; everything else with -- is a flag.
   const std::vector<std::string> value_options = {
       "--lambda", "--max-steps", "--netlist", "--dot",    "--in",
-      "--vcd",    "--max-cycles", "--seed",   "--trips", "--out"};
+      "--vcd",    "--max-cycles", "--seed",   "--trips", "--out",
+      "--passes"};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!starts_with(arg, "--")) return std::nullopt;
+    // Inline form --key=value.
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      const std::string key = arg.substr(0, eq);
+      if (std::find(value_options.begin(), value_options.end(), key) ==
+          value_options.end()) {
+        return std::nullopt;
+      }
+      args.options.emplace_back(key, arg.substr(eq + 1));
+      continue;
+    }
     const bool takes_value =
         std::find(value_options.begin(), value_options.end(), arg) !=
         value_options.end();
@@ -166,9 +179,27 @@ int cmd_compile(const Args& args) {
 
 int cmd_transform(const Args& args) {
   dcf::System system = load_any(args.file);
-  // Passes run in command-line order.
+  if (const auto spec = args.option("--passes")) {
+    // Pipeline form: one AnalysisCache threaded through the sequence,
+    // per-pass stats collected along the way.
+    transform::PassPipeline pipeline =
+        transform::PassPipeline::from_spec(*spec);
+    system = pipeline.run(system);
+    for (const transform::PassStats& ps : pipeline.stats()) {
+      std::cout << ps.name << ": " << ps.states_before << " -> "
+                << ps.states_after << " states";
+      if (!ps.counters.empty()) std::cout << " (" << ps.counters << ")";
+      std::cout << "\n";
+    }
+    if (args.flag("--print-pass-stats")) {
+      std::cout << pipeline.stats_to_string();
+    }
+  }
+  // Flag passes run in command-line order (after --passes, if both given).
   for (const std::string& flag : args.flags) {
-    if (flag == "--parallelize") {
+    if (flag == "--print-pass-stats") {
+      continue;
+    } else if (flag == "--parallelize") {
       transform::ParallelizeStats stats;
       system = transform::parallelize(system, {}, &stats);
       std::cout << "parallelize: " << stats.segments_transformed
