@@ -1,0 +1,146 @@
+// Telemetry overhead: the observability hooks ride inside the sim
+// engine's hot loop (src/obs/trace.h documents the contract), so this
+// bench holds them to it. Per design it measures steady-state cycles/s
+// three ways:
+//   * disabled — no active TraceSession (the default for every caller
+//     that never asks for --trace); must stay within ~2% of the
+//     uninstrumented engine, i.e. of BENCH_sim's compiled numbers;
+//   * enabled  — a wall-clock TraceSession is active and every run
+//     records sim.run spans + plan-cache counter samples;
+//   * deterministic — as enabled, with logical-clock timestamps.
+//
+// Pass --json[=PATH] (default BENCH_obs.json) to emit the three rates
+// plus enabled_overhead_percent per design for the CI bench artifact
+// (see docs/PERF.md). Without --json the same measurements are
+// registered as google-benchmark cases.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "json_out.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "synth/compile.h"
+#include "synth/designs.h"
+#include "util/strings.h"
+#include "workloads.h"
+
+using namespace camad;
+
+namespace {
+
+enum class Mode { kDisabled, kEnabled, kDeterministic };
+
+/// Steady-state cycles/second with a persistent engine and rewound
+/// environment (min 0.2s), optionally recording into a TraceSession
+/// that is discarded unwritten — serialization cost is not the engine's.
+double measure_cycles_per_second(const dcf::System& sys,
+                                 const std::string& name, Mode mode) {
+  std::optional<obs::TraceSession> session;
+  if (mode != Mode::kDisabled) {
+    session.emplace(obs::TraceOptions{mode == Mode::kDeterministic});
+    session->activate();
+  }
+  sim::Environment env = bench::fixed_environment(sys, name);
+  sim::SimOptions options;
+  options.record_cycles = false;
+  sim::Simulator simulator(sys);
+  env.rewind();
+  simulator.run(env, options);  // warm up: compile plans
+
+  using clock = std::chrono::steady_clock;
+  std::uint64_t cycles = 0;
+  const auto start = clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  do {
+    env.rewind();
+    cycles += simulator.run(env, options).cycles;
+  } while (elapsed() < 0.2);
+  const double rate = static_cast<double>(cycles) / elapsed();
+  if (session) session->deactivate();
+  return rate;
+}
+
+void BM_simulate_obs(benchmark::State& state, const std::string& name,
+                     const std::string& source, Mode mode) {
+  const dcf::System sys = synth::compile_source(source);
+  std::optional<obs::TraceSession> session;
+  if (mode != Mode::kDisabled) {
+    session.emplace(obs::TraceOptions{mode == Mode::kDeterministic});
+    session->activate();
+  }
+  sim::Environment env = bench::fixed_environment(sys, name);
+  sim::SimOptions options;
+  options.record_cycles = false;
+  sim::Simulator simulator(sys);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    env.rewind();
+    cycles += simulator.run(env, options).cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  if (session) session->deactivate();
+}
+
+/// Emits BENCH_obs.json: per-design disabled / enabled / deterministic
+/// tracing throughput and the enabled-mode overhead. Returns false if
+/// the file cannot be written.
+bool emit_json(const std::string& path) {
+  bench::BenchJson json(path, "obs", "cycles_per_second");
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    const dcf::System sys = synth::compile_source(std::string(d.source));
+    const double disabled =
+        measure_cycles_per_second(sys, d.name, Mode::kDisabled);
+    const double enabled =
+        measure_cycles_per_second(sys, d.name, Mode::kEnabled);
+    const double deterministic =
+        measure_cycles_per_second(sys, d.name, Mode::kDeterministic);
+    const double overhead = (disabled / enabled - 1.0) * 100.0;
+    json.begin_design(d.name)
+        .field("disabled_cycles_per_second",
+               static_cast<std::uint64_t>(disabled))
+        .field("enabled_cycles_per_second",
+               static_cast<std::uint64_t>(enabled))
+        .field("deterministic_cycles_per_second",
+               static_cast<std::uint64_t>(deterministic))
+        .field("enabled_overhead_percent", bench::rounded(overhead, 1))
+        .end_design();
+    std::cout << "BENCH_obs " << d.name << ": "
+              << static_cast<std::uint64_t>(disabled)
+              << " cycles/s disabled, "
+              << static_cast<std::uint64_t>(enabled)
+              << " enabled (" << format_double(overhead, 1)
+              << "% overhead)\n";
+  }
+  return json.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::extract_json_path(argc, argv, "BENCH_obs.json");
+
+  if (!json_path.empty()) {
+    return emit_json(json_path) ? 0 : 1;
+  }
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    benchmark::RegisterBenchmark(("BM_simulate_untraced/" + d.name).c_str(),
+                                 BM_simulate_obs, d.name,
+                                 std::string(d.source), Mode::kDisabled);
+    benchmark::RegisterBenchmark(("BM_simulate_traced/" + d.name).c_str(),
+                                 BM_simulate_obs, d.name,
+                                 std::string(d.source), Mode::kEnabled);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

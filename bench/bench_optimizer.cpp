@@ -17,12 +17,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 
+#include "json_out.h"
 #include "synth/compile.h"
 #include "synth/designs.h"
 #include "synth/library.h"
@@ -80,61 +79,35 @@ double measure_seconds(const dcf::System& serial,
 /// wall-clock and the speedup. Returns false if the file cannot be
 /// written.
 bool emit_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "error: cannot write " << path << '\n';
-    return false;
-  }
-  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+  bench::BenchJson json(path, "optimizer", "optimize_seconds");
   // Cores matter for reading the numbers: the cached configuration
   // fans candidate evaluation out over them, the baseline is serial.
-  out << "{\n  \"bench\": \"optimizer\",\n  \"metric\": "
-         "\"optimize_seconds\",\n  \"cores\": "
-      << std::thread::hardware_concurrency() << ",\n  \"designs\": [\n";
-  bool first = true;
+  json.meta("cores", std::thread::hardware_concurrency());
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
   for (const synth::NamedDesign& d : synth::all_designs()) {
     const dcf::System serial =
         synth::compile_source(std::string(d.source));
     const double cached = measure_seconds(serial, lib, options_for(true));
     const double uncached =
         measure_seconds(serial, lib, options_for(false));
-    if (!first) out << ",\n";
-    first = false;
-    out << "    {\"design\": \"" << d.name << "\", \"cached_seconds\": "
-        << format_double(cached, 4) << ", \"uncached_seconds\": "
-        << format_double(uncached, 4) << ", \"speedup\": "
-        << format_double(uncached / cached, 2) << "}";
+    json.begin_design(d.name)
+        .field("cached_seconds", bench::rounded(cached, 4))
+        .field("uncached_seconds", bench::rounded(uncached, 4))
+        .field("speedup", bench::rounded(uncached / cached, 2))
+        .end_design();
     std::cout << "BENCH_optimizer " << d.name << ": "
               << format_double(cached * 1e3, 1) << " ms cached vs "
               << format_double(uncached * 1e3, 1) << " ms uncached ("
               << format_double(uncached / cached, 2) << "x)\n";
   }
-  out << "\n  ]\n}\n";
-  out.flush();
-  if (!out) {
-    std::cerr << "error: failed writing " << path << '\n';
-    return false;
-  }
-  std::cout << "wrote " << path << '\n';
-  return true;
+  return json.finish();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract our --json[=PATH] flag before google-benchmark sees argv.
-  std::string json_path;
-  int out_argc = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = "BENCH_optimizer.json";
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else {
-      argv[out_argc++] = argv[i];
-    }
-  }
-  argc = out_argc;
+  const std::string json_path =
+      bench::extract_json_path(argc, argv, "BENCH_optimizer.json");
 
   if (!json_path.empty()) {
     return emit_json(json_path) ? 0 : 1;

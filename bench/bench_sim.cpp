@@ -21,11 +21,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "json_out.h"
 #include "sim/batch.h"
 #include "sim/simulator.h"
 #include "synth/compile.h"
@@ -173,57 +172,31 @@ double measure_cycles_per_second(const dcf::System& sys,
 /// compiled engine and the reference baseline, plus the speedup.
 /// Returns false if the file cannot be written.
 bool emit_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "error: cannot write " << path << '\n';
-    return false;
-  }
-  out << "{\n  \"bench\": \"sim\",\n  \"metric\": \"cycles_per_second\",\n"
-      << "  \"designs\": [\n";
-  bool first = true;
+  bench::BenchJson json(path, "sim", "cycles_per_second");
   for (const synth::NamedDesign& d : synth::all_designs()) {
     const dcf::System sys = synth::compile_source(std::string(d.source));
     const double compiled =
         measure_cycles_per_second(sys, d.name, sim::SimEngine::kCompiled);
     const double reference =
         measure_cycles_per_second(sys, d.name, sim::SimEngine::kReference);
-    if (!first) out << ",\n";
-    first = false;
-    out << "    {\"design\": \"" << d.name << "\", \"cycles_per_second\": "
-        << static_cast<std::uint64_t>(compiled)
-        << ", \"reference_cycles_per_second\": "
-        << static_cast<std::uint64_t>(reference) << ", \"speedup\": "
-        << format_double(compiled / reference, 2) << "}";
+    json.begin_design(d.name)
+        .field("cycles_per_second", static_cast<std::uint64_t>(compiled))
+        .field("reference_cycles_per_second",
+               static_cast<std::uint64_t>(reference))
+        .field("speedup", bench::rounded(compiled / reference, 2))
+        .end_design();
     std::cout << "BENCH_sim " << d.name << ": "
               << static_cast<std::uint64_t>(compiled) << " cycles/s ("
               << format_double(compiled / reference, 2) << "x reference)\n";
   }
-  out << "\n  ]\n}\n";
-  out.flush();
-  if (!out) {
-    std::cerr << "error: failed writing " << path << '\n';
-    return false;
-  }
-  std::cout << "wrote " << path << '\n';
-  return true;
+  return json.finish();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract our --json[=PATH] flag before google-benchmark sees argv.
-  std::string json_path;
-  int out_argc = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = "BENCH_sim.json";
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else {
-      argv[out_argc++] = argv[i];
-    }
-  }
-  argc = out_argc;
+  const std::string json_path =
+      bench::extract_json_path(argc, argv, "BENCH_sim.json");
 
   print_table();
   if (!json_path.empty()) {

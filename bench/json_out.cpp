@@ -1,0 +1,74 @@
+#include "json_out.h"
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+
+namespace camad::bench {
+
+std::string extract_json_path(int& argc, char** argv,
+                              const std::string& default_path) {
+  std::string path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      path = default_path;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  return path;
+}
+
+double rounded(double value, int digits) {
+  const double scale = std::pow(10.0, digits);
+  return std::round(value * scale) / scale;
+}
+
+BenchJson::BenchJson(const std::string& path, std::string_view bench,
+                     std::string_view metric)
+    : path_(path), out_(path), writer_(out_) {
+  if (!out_) {
+    std::cerr << "error: cannot write " << path_ << '\n';
+    failed_ = true;
+    return;
+  }
+  writer_.begin_object();
+  writer_.kv("bench", bench);
+  writer_.kv("metric", metric);
+}
+
+BenchJson& BenchJson::begin_design(std::string_view name) {
+  if (failed_) return *this;
+  if (!in_designs_) {
+    writer_.key("designs").begin_array();
+    in_designs_ = true;
+  }
+  writer_.begin_object();
+  writer_.kv("design", name);
+  return *this;
+}
+
+BenchJson& BenchJson::end_design() {
+  if (!failed_) writer_.end_object();
+  return *this;
+}
+
+bool BenchJson::finish() {
+  if (failed_) return false;
+  if (in_designs_) writer_.end_array();
+  writer_.end_object();
+  out_ << '\n';
+  out_.flush();
+  if (!out_) {
+    std::cerr << "error: failed writing " << path_ << '\n';
+    return false;
+  }
+  std::cout << "wrote " << path_ << '\n';
+  return true;
+}
+
+}  // namespace camad::bench

@@ -1,0 +1,68 @@
+// Shared machine-readable output for the BENCH_* tools: the --json[=PATH]
+// argv extraction and the {"bench","metric",...,"designs":[...]} record
+// shape that docs/PERF.md and the CI bench artifacts consume, built on
+// util/json.h so every value is escaped/serialized in one place instead
+// of per-tool hand-rolled ofstream writes.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace camad::bench {
+
+/// Strips `--json` / `--json=PATH` out of argv (so google-benchmark never
+/// sees it) and compacts argc. Returns the requested output path: "" when
+/// the flag was absent, `default_path` for the bare form.
+std::string extract_json_path(int& argc, char** argv,
+                              const std::string& default_path);
+
+/// `value` rounded to `digits` decimal places, so json_number's
+/// shortest-round-trip rendering stays as compact as the old
+/// fixed-precision writers (0.2371 rather than 0.23714285714285716).
+double rounded(double value, int digits);
+
+/// Streaming writer for one BENCH_<name>.json document:
+///
+///   BenchJson json(path, "sim", "cycles_per_second");
+///   json.meta("cores", 8);                       // optional, before records
+///   json.begin_design("gcd").field("cycles_per_second", 1e6).end_design();
+///   if (!json.finish()) return 1;
+///
+/// All calls are no-ops after an open failure; finish() reports it.
+class BenchJson {
+ public:
+  BenchJson(const std::string& path, std::string_view bench,
+            std::string_view metric);
+
+  /// Extra top-level metadata; must precede the first begin_design().
+  template <typename T>
+  BenchJson& meta(std::string_view key, T value) {
+    if (!failed_) writer_.kv(key, value);
+    return *this;
+  }
+
+  /// Opens one {"design": name, ...} record in the "designs" array.
+  BenchJson& begin_design(std::string_view name);
+  template <typename T>
+  BenchJson& field(std::string_view key, T value) {
+    if (!failed_) writer_.kv(key, value);
+    return *this;
+  }
+  BenchJson& end_design();
+
+  /// Closes the document and flushes. False (with a message on stderr)
+  /// if the file could not be opened or a write failed.
+  [[nodiscard]] bool finish();
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  JsonWriter writer_;
+  bool in_designs_ = false;
+  bool failed_ = false;
+};
+
+}  // namespace camad::bench

@@ -10,6 +10,7 @@
 #include "dcf/check.h"
 #include "dcf/io.h"
 #include "gen/shrink.h"
+#include "obs/trace.h"
 #include "semantics/analysis.h"
 #include "semantics/equivalence.h"
 #include "sim/environment.h"
@@ -76,6 +77,7 @@ std::string compare_results(const sim::SimResult& ref,
 /// kReference vs kCompiled must be bit-identical under every policy.
 void engine_differential(const dcf::System& system, std::uint64_t seed,
                          const OracleOptions& opt) {
+  const obs::ObsSpan span("oracle.engines");
   const sim::FiringPolicy policies[] = {sim::FiringPolicy::kMaximalStep,
                                         sim::FiringPolicy::kRandomOrder};
   for (std::size_t e = 0; e < opt.environments; ++e) {
@@ -148,6 +150,7 @@ semantics::DifferentialOptions differential_options(
 void transform_chain(const dcf::System& original, std::uint64_t seed,
                      const OracleOptions& opt) {
   if (opt.max_transform_steps == 0) return;
+  const obs::ObsSpan span("oracle.transforms");
   Rng rng(seed ^ 0x7472616e73666fULL);
   const std::size_t steps = 1 + rng.below(opt.max_transform_steps);
   dcf::System current = original;
@@ -196,13 +199,17 @@ void transform_chain(const dcf::System& original, std::uint64_t seed,
 
 void run_system_battery(const dcf::System& system, std::uint64_t seed,
                         const OracleOptions& opt, bool io_stage) {
-  const dcf::CheckReport report = dcf::check_properly_designed(system);
-  if (!report.ok()) {
-    throw StageFailure{"check", report.to_string()};
+  {
+    const obs::ObsSpan span("oracle.check");
+    const dcf::CheckReport report = dcf::check_properly_designed(system);
+    if (!report.ok()) {
+      throw StageFailure{"check", report.to_string()};
+    }
   }
   engine_differential(system, seed, opt);
   transform_chain(system, seed, opt);
   if (io_stage && opt.check_io) {
+    const obs::ObsSpan span("oracle.io");
     std::string text;
     try {
       text = dcf::save_system(system);
@@ -226,6 +233,7 @@ void run_program_battery(const synth::Program& program, std::uint64_t seed,
                          const OracleOptions& opt) {
   std::string source;
   dcf::System system = [&] {
+    const obs::ObsSpan span("oracle.compile");
     try {
       source = synth::to_source(program);
       return synth::compile(program);
@@ -235,6 +243,7 @@ void run_program_battery(const synth::Program& program, std::uint64_t seed,
   }();
 
   if (opt.check_roundtrip) {
+    const obs::ObsSpan span("oracle.roundtrip");
     try {
       const synth::Program reparsed = synth::parse_program(source);
       if (synth::to_source(reparsed) != source) {
@@ -249,6 +258,7 @@ void run_program_battery(const synth::Program& program, std::uint64_t seed,
   run_system_battery(system, seed, opt, /*io_stage=*/false);
 
   if (opt.check_fold) {
+    const obs::ObsSpan span("oracle.fold");
     try {
       synth::Program folded = clone_program(program);
       (void)synth::fold_constants(folded);
@@ -325,6 +335,7 @@ OracleOutcome run_plan_oracle(const SysPlan& plan, std::uint64_t seed,
   OracleOutcome out = outcome_for(seed, OracleLevel::kSystem);
   try {
     const dcf::System system = [&] {
+      const obs::ObsSpan span("oracle.build");
       try {
         return build_system(plan, options.system,
                             "gensys_" + std::to_string(seed));
@@ -347,6 +358,10 @@ OracleOutcome run_plan_oracle(const SysPlan& plan, std::uint64_t seed,
 
 OracleOutcome run_seed(std::uint64_t seed, OracleLevel level,
                        const OracleOptions& options) {
+  const obs::ObsSpan seed_span("oracle.seed", [&] {
+    return "{\"seed\":" + std::to_string(seed) + ",\"level\":\"" +
+           std::string(level_name(level)) + "\"}";
+  });
   if (level == OracleLevel::kProgram) {
     const synth::Program program = random_program(seed, options.program);
     OracleOutcome out = run_program_oracle(program, seed, options);

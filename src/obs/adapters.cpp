@@ -1,0 +1,76 @@
+#include "obs/adapters.h"
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace camad::obs {
+namespace {
+
+std::string joined(std::string_view prefix, std::string_view suffix) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + suffix.size());
+  out.append(prefix);
+  out.push_back('.');
+  out.append(suffix);
+  return out;
+}
+
+}  // namespace
+
+void publish_sim_stats(MetricsRegistry& registry, const sim::SimStats& stats,
+                       std::string_view prefix) {
+  const std::string base = joined(prefix, "plan_cache");
+  registry.add(base + ".hits", stats.plan_cache_hits);
+  registry.add(base + ".misses", stats.plan_cache_misses);
+  registry.add(base + ".evictions", stats.plan_cache_evictions);
+  registry.set(base + ".size", static_cast<double>(stats.plan_cache_size));
+}
+
+void publish_analysis_stats(MetricsRegistry& registry,
+                            const semantics::AnalysisCacheStats& stats,
+                            std::string_view prefix) {
+  for (std::size_t i = 0; i < semantics::kAnalysisCount; ++i) {
+    if (stats.hits[i] + stats.misses[i] + stats.transfers[i] == 0) continue;
+    const std::string base = joined(
+        prefix, semantics::analysis_name(static_cast<semantics::Analysis>(i)));
+    registry.add(base + ".hits", stats.hits[i]);
+    registry.add(base + ".misses", stats.misses[i]);
+    registry.add(base + ".transfers", stats.transfers[i]);
+  }
+  registry.add(joined(prefix, "hits"), stats.total_hits());
+  registry.add(joined(prefix, "misses"), stats.total_misses());
+  registry.add(joined(prefix, "transfers"), stats.total_transfers());
+  registry.set(joined(prefix, "hit_rate"), stats.hit_rate());
+}
+
+void publish_pass_stats(MetricsRegistry& registry,
+                        const std::vector<transform::PassStats>& stats,
+                        std::string_view prefix) {
+  for (const transform::PassStats& pass : stats) {
+    const std::string base = joined(prefix, pass.name);
+    registry.add(base + ".runs");
+    registry.observe(base + ".seconds", pass.seconds);
+    registry.set(base + ".states_before",
+                 static_cast<double>(pass.states_before));
+    registry.set(base + ".states_after",
+                 static_cast<double>(pass.states_after));
+    registry.set(base + ".vertices_before",
+                 static_cast<double>(pass.vertices_before));
+    registry.set(base + ".vertices_after",
+                 static_cast<double>(pass.vertices_after));
+  }
+}
+
+void trace_sim_stats(const sim::SimStats& stats) {
+  TraceSession* session = TraceSession::active();
+  if (session == nullptr) return;
+  session->counter("sim.plan_cache.hits",
+                   static_cast<double>(stats.plan_cache_hits));
+  session->counter("sim.plan_cache.misses",
+                   static_cast<double>(stats.plan_cache_misses));
+  session->counter("sim.plan_cache.size",
+                   static_cast<double>(stats.plan_cache_size));
+}
+
+}  // namespace camad::obs

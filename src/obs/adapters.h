@@ -1,0 +1,39 @@
+// Bridges from the engines' existing stats structs into a
+// MetricsRegistry (and onto a trace's counter tracks), so each struct
+// stops hand-rolling its own reporting surface. The structs stay the
+// in-library source of truth; these adapters define the exported names.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "semantics/analysis.h"
+#include "sim/simulator.h"
+#include "transform/passes.h"
+
+namespace camad::obs {
+
+/// <prefix>.plan_cache.{hits,misses,evictions} counters and a
+/// <prefix>.plan_cache.size gauge.
+void publish_sim_stats(MetricsRegistry& registry, const sim::SimStats& stats,
+                       std::string_view prefix = "sim");
+
+/// Per-analysis <prefix>.<analysis>.{hits,misses,transfers} counters
+/// plus <prefix>.{hits,misses,transfers} totals and a <prefix>.hit_rate
+/// gauge.
+void publish_analysis_stats(MetricsRegistry& registry,
+                            const semantics::AnalysisCacheStats& stats,
+                            std::string_view prefix = "analysis");
+
+/// Per pass: <prefix>.<name>.runs counter, <prefix>.<name>.seconds
+/// histogram, and gauges for the most recent state/vertex deltas.
+void publish_pass_stats(MetricsRegistry& registry,
+                        const std::vector<transform::PassStats>& stats,
+                        std::string_view prefix = "pass");
+
+/// Emits the plan-cache stats onto the active trace's counter tracks
+/// (no-op when tracing is disabled).
+void trace_sim_stats(const sim::SimStats& stats);
+
+}  // namespace camad::obs

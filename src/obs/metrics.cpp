@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace camad::obs {
+
+void MetricsRegistry::add(std::string_view counter, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set(std::string_view gauge, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double sample) {
+  if (!std::isfinite(sample)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), Histogram{}).first;
+  }
+  Histogram& h = it->second;
+  if (h.stats.count == 0) {
+    h.stats.min = sample;
+    h.stats.max = sample;
+  } else {
+    h.stats.min = std::min(h.stats.min, sample);
+    h.stats.max = std::max(h.stats.max, sample);
+  }
+  ++h.stats.count;
+  h.stats.sum += sample;
+  ++h.buckets[bucket_of(sample)];
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramStats MetricsRegistry::histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramStats{} : it->second.stats;
+}
+
+bool MetricsRegistry::empty() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+std::size_t MetricsRegistry::bucket_of(double sample) {
+  if (sample <= 0) return 0;
+  const int exponent = static_cast<int>(std::ceil(std::log2(sample)));
+  const int index = exponent + 32;
+  if (index < 0) return 0;
+  if (index >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(index);
+}
+
+double MetricsRegistry::quantile(const Histogram& h, double q) {
+  if (h.stats.count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.stats.count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += h.buckets[i];
+    if (seen > target) {
+      // Geometric midpoint of [2^(i-33), 2^(i-32)), clamped to the
+      // observed range.
+      const double mid =
+          std::exp2(static_cast<double>(static_cast<int>(i) - 32) - 0.5);
+      return std::min(std::max(mid, h.stats.min), h.stats.max);
+    }
+  }
+  return h.stats.max;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter writer(out);
+  writer.begin_object();
+  writer.key("counters").begin_object();
+  for (const auto& [name, value] : counters_) writer.kv(name, value);
+  writer.end_object();
+  writer.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges_) writer.kv(name, value);
+  writer.end_object();
+  writer.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    writer.key(name)
+        .begin_object()
+        .kv("count", h.stats.count)
+        .kv("sum", h.stats.sum)
+        .kv("min", h.stats.min)
+        .kv("max", h.stats.max)
+        .kv("mean", h.stats.mean())
+        .kv("p50", quantile(h, 0.5))
+        .kv("p90", quantile(h, 0.9))
+        .kv("p99", quantile(h, 0.99))
+        .end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+  out << '\n';
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace camad::obs

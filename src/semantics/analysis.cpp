@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace camad::semantics {
@@ -135,6 +136,7 @@ const petri::ReachabilityResult& AnalysisCache::reachability() const {
   const auto i = index(Analysis::kReachability);
   if (reachability_ == nullptr) {
     ++stats_.misses[i];
+    const obs::ObsSpan span("analysis.reachability");
     reachability_ = std::make_shared<const petri::ReachabilityResult>(
         petri::explore(system_->control().net(), reach_));
   } else {
@@ -148,6 +150,7 @@ const std::vector<bool>& AnalysisCache::concurrency() const {
   const auto i = index(Analysis::kConcurrency);
   if (concurrency_ == nullptr) {
     ++stats_.misses[i];
+    const obs::ObsSpan span("analysis.concurrency");
     concurrency_ = std::make_shared<const std::vector<bool>>(
         petri::concurrent_places(system_->control().net(), reach_));
   } else {
@@ -165,6 +168,7 @@ const petri::OrderRelations& AnalysisCache::order() const {
   const auto i = index(Analysis::kOrder);
   if (order_ == nullptr) {
     ++stats_.misses[i];
+    const obs::ObsSpan span("analysis.order");
     order_ = std::make_shared<const petri::OrderRelations>(
         system_->control().net());
   } else {
@@ -180,6 +184,7 @@ const DependenceRelation& AnalysisCache::dependence(
   auto& entry = dependence_[dependence_key(options)];
   if (entry == nullptr) {
     ++stats_.misses[i];
+    const obs::ObsSpan span("analysis.dependence");
     entry = std::make_shared<const DependenceRelation>(*system_, options);
   } else {
     ++stats_.hits[i];

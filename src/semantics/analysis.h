@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "dcf/system.h"
+#include "obs/trace.h"
 #include "petri/order.h"
 #include "petri/reachability.h"
 #include "semantics/dependence.h"
@@ -134,6 +135,7 @@ class AnalysisCache {
     std::shared_ptr<const void>& entry = slots_[index(kind)];
     if (entry == nullptr) {
       ++stats_.misses[index(kind)];
+      const obs::ObsSpan span("analysis.", analysis_name(kind));
       entry = std::make_shared<const T>(compute(*system_));
     } else {
       ++stats_.hits[index(kind)];

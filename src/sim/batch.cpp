@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace camad::sim {
 
 std::size_t resolve_worker_count(std::size_t jobs, std::size_t threads) {
@@ -33,6 +35,9 @@ void parallel_jobs(std::size_t jobs, std::size_t threads,
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
+      if (obs::TraceSession* session = obs::TraceSession::active()) {
+        session->name_thread("worker-" + std::to_string(w));
+      }
       try {
         for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
              i < jobs; i = next.fetch_add(1, std::memory_order_relaxed)) {

@@ -9,6 +9,7 @@
 
 #include "graph/algorithms.h"
 #include "graph/digraph.h"
+#include "obs/trace.h"
 #include "petri/exec.h"
 #include "petri/marking.h"
 #include "sim/plan.h"
@@ -162,6 +163,7 @@ class PortEvaluator {
 
 SimResult simulate_reference(const dcf::System& system, Environment& env,
                              const SimOptions& options) {
+  const obs::ObsSpan run_span("sim.run.reference");
   const dcf::DataPath& dp = system.datapath();
   const dcf::ControlNet& cn = system.control();
   const petri::Net& net = cn.net();
@@ -390,6 +392,7 @@ struct SimulatorState {
 
 SimResult run_compiled(SimulatorState& state, Environment& env,
                        const SimOptions& options) {
+  const obs::ObsSpan run_span("sim.run");
   const dcf::DataPath& dp = state.system.datapath();
   const dcf::ControlNet& cn = state.system.control();
   const petri::Net& net = cn.net();
@@ -453,6 +456,7 @@ SimResult run_compiled(SimulatorState& state, Environment& env,
     s.marking.marked_into(s.marked_bits);
     ConfigPlan* plan = state.plans.find(s.marked_bits);
     if (plan == nullptr) {
+      const obs::ObsSpan compile_span("sim.compile_plan");
       plan = &state.plans.insert(s.marked_bits,
                                  compile_plan(state.system, s.marked_bits));
     }
@@ -642,10 +646,37 @@ SimResult run_compiled(SimulatorState& state, Environment& env,
   result.stats.plan_cache_misses = state.plans.misses() - misses0;
   result.stats.plan_cache_evictions = state.plans.evictions() - evictions0;
   result.stats.plan_cache_size = state.plans.size();
+  if (obs::TraceSession* session = obs::TraceSession::active()) {
+    // Cumulative across the simulator's lifetime, so repeated runs form a
+    // monotone counter track.
+    session->counter("sim.plan_cache.hits",
+                     static_cast<double>(state.plans.hits()));
+    session->counter("sim.plan_cache.misses",
+                     static_cast<double>(state.plans.misses()));
+    session->counter("sim.plan_cache.size",
+                     static_cast<double>(state.plans.size()));
+  }
   return result;
 }
 
 }  // namespace
+
+SimStats& SimStats::operator+=(const SimStats& other) {
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  plan_cache_evictions += other.plan_cache_evictions;
+  plan_cache_size = std::max(plan_cache_size, other.plan_cache_size);
+  return *this;
+}
+
+std::string SimStats::to_string() const {
+  std::string out = "plan cache: " + std::to_string(plan_cache_hits) +
+                    " hits, " + std::to_string(plan_cache_misses) +
+                    " misses, " + std::to_string(plan_cache_evictions) +
+                    " evictions, " + std::to_string(plan_cache_size) +
+                    " resident";
+  return out;
+}
 
 struct Simulator::Impl {
   explicit Impl(const dcf::System& system) : state(system) {}

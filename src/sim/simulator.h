@@ -78,6 +78,13 @@ struct SimStats {
   std::uint64_t plan_cache_evictions = 0;
   std::uint64_t plan_cache_size = 0;  ///< resident entries after the run
 
+  /// Aggregation across runs: counts sum; size keeps the largest resident
+  /// footprint seen (sizes of distinct caches are not additive).
+  SimStats& operator+=(const SimStats& other);
+
+  /// One-line human-readable summary for CLI output.
+  [[nodiscard]] std::string to_string() const;
+
   friend bool operator==(const SimStats&, const SimStats&) = default;
 };
 

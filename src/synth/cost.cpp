@@ -134,6 +134,7 @@ PerformanceReport measure_performance(const dcf::System& system,
   for (const sim::SimResult& result : results) {
     report.all_terminated &= result.terminated;
     report.max_cycles = std::max(report.max_cycles, result.cycles);
+    report.sim_stats += result.stats;
     total += static_cast<double>(result.cycles);
   }
   report.mean_cycles =

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dcf/system.h"
+#include "sim/simulator.h"
 #include "synth/library.h"
 
 namespace camad::synth {
@@ -42,6 +43,8 @@ struct PerformanceReport {
   std::uint64_t max_cycles = 0;
   bool all_terminated = true;
   double cycle_time = 0;       ///< ns
+  /// Plan-cache activity summed over all sampled runs.
+  sim::SimStats sim_stats;
   [[nodiscard]] double mean_time_ns() const {
     return mean_cycles * cycle_time;
   }

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
 #include "semantics/equivalence.h"
 #include "sim/batch.h"
 #include "transform/chain.h"
@@ -12,6 +13,7 @@
 #include "transform/parallelize.h"
 #include "transform/regshare.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace camad::synth {
@@ -31,15 +33,26 @@ struct Candidate {
   dcf::System scheduled;
   Metrics metrics;
   double objective = std::numeric_limits<double>::infinity();
+  sim::SimStats sim_stats;
 };
+
+/// Marks an accepted move on the trace timeline (no-op when disabled).
+void trace_accept(const std::string& description, double objective) {
+  obs::TraceSession* session = obs::TraceSession::active();
+  if (session == nullptr) return;
+  session->instant("optimize.accept",
+                   "{\"move\":" + json_quote(description) +
+                       ",\"objective\":" + json_number(objective) + "}");
+}
 
 }  // namespace
 
 Metrics evaluate(const dcf::System& system, const ModuleLibrary& lib,
-                 const MeasureOptions& options) {
+                 const MeasureOptions& options, sim::SimStats* sim_stats) {
   Metrics m;
   m.area = estimate_area(system, lib).total();
   const PerformanceReport perf = measure_performance(system, lib, options);
+  if (sim_stats != nullptr) *sim_stats += perf.sim_stats;
   m.mean_cycles = perf.mean_cycles;
   m.cycle_time = perf.cycle_time;
   m.time_ns = perf.mean_time_ns();
@@ -57,21 +70,31 @@ dcf::System derive_schedule(const dcf::System& master,
 
 OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
                          const OptimizerOptions& options) {
+  const obs::ObsSpan optimize_span("optimize");
   dcf::System master = serial;
   std::optional<semantics::AnalysisCache> cache;
   if (options.use_analysis_cache) cache.emplace(master);
 
+  OptimizerResult result;
   dcf::System best =
       cache ? derive_schedule(master, *cache) : derive_schedule(master);
-  const Metrics baseline = evaluate(best, lib, options.measure);
+  const Metrics baseline =
+      evaluate(best, lib, options.measure, &result.sim_stats);
+  ++result.candidates_evaluated;
 
-  OptimizerResult result{best, master, baseline, baseline, {}, 0};
+  result.best = best;
+  result.serial_master = master;
+  result.initial = baseline;
+  result.final = baseline;
   double best_objective = objective_of(baseline, baseline,
                                        options.area_weight);
   result.steps.push_back(
       {"initial (no mergers, parallelized)", baseline, best_objective});
 
   for (std::size_t step = 0; step < options.max_steps; ++step) {
+    const obs::ObsSpan sweep_span("optimize.sweep", [&] {
+      return "{\"step\":" + std::to_string(step) + "}";
+    });
     const auto pairs = cache ? transform::mergeable_pairs(master, *cache)
                              : transform::mergeable_pairs(master);
     if (pairs.empty()) break;
@@ -84,6 +107,9 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
     sim::parallel_jobs(
         pairs.size(), options.eval_threads,
         [&](std::size_t /*worker*/, std::size_t i) {
+          const obs::ObsSpan candidate_span("optimize.candidate", [&] {
+            return "{\"pair\":" + std::to_string(i) + "}";
+          });
           Candidate& c = candidates[i];
           c.master = cache ? transform::merge_vertices(
                                  master, pairs[i].first, pairs[i].second,
@@ -93,10 +119,13 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
           // The merged system is a different net object per candidate:
           // its schedule cannot reuse the master's cache.
           c.scheduled = derive_schedule(c.master);
-          c.metrics = evaluate(c.scheduled, lib, options.measure);
+          c.metrics = evaluate(c.scheduled, lib, options.measure,
+                               &c.sim_stats);
           c.objective = objective_of(c.metrics, baseline,
                                      options.area_weight);
         });
+    for (const Candidate& c : candidates) result.sim_stats += c.sim_stats;
+    result.candidates_evaluated += candidates.size();
 
     // Deterministic selection: minimum objective, earliest pair index on
     // ties — exactly the serial sweep's acceptance rule, so thread count
@@ -130,8 +159,10 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
         {"merge " + dp.name(pairs[winner].first) + " into " +
              dp.name(pairs[winner].second),
          accepted.metrics, accepted.objective});
+    trace_accept(result.steps.back().description, accepted.objective);
     master = std::move(accepted.master);
     if (cache) {
+      result.analysis_stats += cache->stats();
       cache = cache->successor(master, transform::merge_preserved_analyses());
     }
     best = std::move(accepted.scheduled);
@@ -164,6 +195,7 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
             shared, transform::regshare_preserved_analyses());
         post.push_back({"share registers + chain states",
                         transform::chain_states(shared, shared_cache)});
+        result.analysis_stats += shared_cache.stats();
       } else {
         post.push_back({"share registers + chain states",
                         transform::chain_states(shared)});
@@ -174,13 +206,17 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
   std::vector<Candidate> post_eval(post.size());
   sim::parallel_jobs(post.size(), options.eval_threads,
                      [&](std::size_t /*worker*/, std::size_t i) {
+                       const obs::ObsSpan post_span("optimize.post.",
+                                                    post[i].name);
                        Candidate& c = post_eval[i];
                        c.scheduled = derive_schedule(post[i].master);
                        c.metrics = evaluate(c.scheduled, lib,
-                                            options.measure);
+                                            options.measure, &c.sim_stats);
                        c.objective = objective_of(c.metrics, baseline,
                                                   options.area_weight);
                      });
+  for (const Candidate& c : post_eval) result.sim_stats += c.sim_stats;
+  result.candidates_evaluated += post_eval.size();
   for (std::size_t i = 0; i < post.size(); ++i) {
     if (post_eval[i].objective < best_objective - 1e-12) {
       if (options.verify_steps) {
@@ -194,12 +230,14 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
       }
       result.steps.push_back(
           {post[i].name, post_eval[i].metrics, post_eval[i].objective});
+      trace_accept(result.steps.back().description, post_eval[i].objective);
       master = std::move(post[i].master);
       best = std::move(post_eval[i].scheduled);
       best_objective = post_eval[i].objective;
     }
   }
 
+  if (cache) result.analysis_stats += cache->stats();
   result.best = best;
   result.serial_master = master;
   result.final = result.steps.back().metrics;
@@ -209,13 +247,18 @@ OptimizerResult optimize(const dcf::System& serial, const ModuleLibrary& lib,
 OptimizerResult optimize_stochastic(const dcf::System& serial,
                                     const ModuleLibrary& lib,
                                     const StochasticOptions& options) {
+  const obs::ObsSpan optimize_span("optimize.stochastic");
+  sim::SimStats sim_total;
+  semantics::AnalysisCacheStats analysis_total;
+  std::size_t evaluations = 0;
   std::optional<semantics::AnalysisCache> base;
   if (options.base.use_analysis_cache) base.emplace(serial);
 
   const dcf::System initial_scheduled =
       base ? derive_schedule(serial, *base) : derive_schedule(serial);
   const Metrics baseline =
-      evaluate(initial_scheduled, lib, options.base.measure);
+      evaluate(initial_scheduled, lib, options.base.measure, &sim_total);
+  ++evaluations;
   const double initial_objective =
       objective_of(baseline, baseline, options.base.area_weight);
   Rng rng(options.seed);
@@ -233,7 +276,11 @@ OptimizerResult optimize_stochastic(const dcf::System& serial,
     }
     dcf::System scheduled = initial_scheduled;
     double objective = initial_objective;
-    OptimizerResult run{scheduled, master, baseline, baseline, {}, 0};
+    OptimizerResult run;
+    run.best = scheduled;
+    run.serial_master = master;
+    run.initial = baseline;
+    run.final = baseline;
 
     for (std::size_t step = 0; step < options.base.max_steps; ++step) {
       auto pairs = cache ? transform::mergeable_pairs(master, *cache)
@@ -250,12 +297,14 @@ OptimizerResult optimize_stochastic(const dcf::System& serial,
                   : transform::merge_vertices(master, vi, vj);
         dcf::System candidate = derive_schedule(merged);
         const Metrics metrics =
-            evaluate(candidate, lib, options.base.measure);
+            evaluate(candidate, lib, options.base.measure, &sim_total);
+        ++evaluations;
         const double candidate_objective =
             objective_of(metrics, baseline, options.base.area_weight);
         if (candidate_objective < objective - 1e-12) {
           master = std::move(merged);
           if (cache) {
+            analysis_total += cache->stats();
             cache = cache->successor(
                 master, transform::merge_preserved_analyses());
           }
@@ -270,6 +319,7 @@ OptimizerResult optimize_stochastic(const dcf::System& serial,
       }
       if (!improved) break;
     }
+    if (cache) analysis_total += cache->stats();
 
     if (objective < best_objective) {
       best_objective = objective;
@@ -284,6 +334,11 @@ OptimizerResult optimize_stochastic(const dcf::System& serial,
                               initial_objective});
     best_run.final = baseline;
   }
+  if (base) analysis_total += base->stats();
+  // Search-wide totals, not just the winning restart's share.
+  best_run.sim_stats = sim_total;
+  best_run.analysis_stats = analysis_total;
+  best_run.candidates_evaluated = evaluations;
   return best_run;
 }
 

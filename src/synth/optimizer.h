@@ -76,10 +76,19 @@ struct OptimizerResult {
   Metrics final;
   std::vector<OptimizerStep> steps;
   std::size_t merges_applied = 0;
+  /// Search-wide telemetry: plan-cache activity summed over every
+  /// candidate measurement, the shared analysis cache's lifetime
+  /// hit/miss/transfer counts, and the number of candidate evaluations.
+  sim::SimStats sim_stats;
+  semantics::AnalysisCacheStats analysis_stats;
+  std::size_t candidates_evaluated = 0;
 };
 
+/// `sim_stats`, when non-null, receives the measurement's summed
+/// plan-cache activity.
 Metrics evaluate(const dcf::System& system, const ModuleLibrary& lib,
-                 const MeasureOptions& options);
+                 const MeasureOptions& options,
+                 sim::SimStats* sim_stats = nullptr);
 
 /// The schedule every search strategy derives from a serial master:
 /// chain parallelization followed by control cleanup (the fork/join

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace camad::transform {
@@ -122,6 +123,7 @@ dcf::System chain_states(const dcf::System& system,
   if (!(cache.bound_to(system))) {
     throw Error("chain_states: analysis cache bound to a different system");
   }
+  const obs::ObsSpan span("transform.chain");
   ChainStats local;
   dcf::System current = system;
   // The cache serves the first scan only: every accepted merge rewrites

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace camad::transform {
@@ -87,6 +88,7 @@ dcf::System apply(const dcf::System& system, const Elision& elision) {
 }  // namespace
 
 dcf::System cleanup_control(const dcf::System& system, CleanupStats* stats) {
+  const obs::ObsSpan span("transform.cleanup");
   CleanupStats local;
   dcf::System current = system;
   while (const auto elision = find_elidable(current)) {

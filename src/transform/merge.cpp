@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/trace.h"
 #include "petri/order.h"
 #include "petri/reachability.h"
 #include "util/error.h"
@@ -266,6 +267,7 @@ dcf::System merge_all(const dcf::System& system,
   if (!(cache.bound_to(system))) {
     throw Error("merge_all: analysis cache bound to a different system");
   }
+  const obs::ObsSpan span("transform.merge-all");
   dcf::System current = system;
   // `current` starts as an identical copy of `system`, so every analysis
   // of the caller's cache is valid for it; rebind so fixpoint queries hit

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/bitset.h"
 #include "util/error.h"
 
@@ -117,6 +118,7 @@ dcf::System parallelize(const dcf::System& system,
   if (!(cache.bound_to(system))) {
     throw Error("parallelize: analysis cache bound to a different system");
   }
+  const obs::ObsSpan span("transform.parallelize");
   const petri::Net& net = system.control().net();
   const semantics::DependenceRelation& dep =
       cache.dependence(options.dependence);

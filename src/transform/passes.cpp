@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.h"
 #include "transform/chain.h"
 #include "transform/cleanup.h"
 #include "transform/merge.h"
@@ -177,7 +178,11 @@ dcf::System PassPipeline::run(const dcf::System& initial) {
     record.states_before = current.control().state_count();
     record.vertices_before = current.datapath().vertex_count();
     const auto t0 = std::chrono::steady_clock::now();
-    dcf::System next = pass->run(current, cache);
+    dcf::System next;
+    {
+      const obs::ObsSpan span("pass.", record.name);
+      next = pass->run(current, cache);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     record.seconds = std::chrono::duration<double>(t1 - t0).count();
     record.states_after = next.control().state_count();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "dcf/ops.h"
+#include "obs/trace.h"
 #include "petri/order.h"
 #include "petri/reachability.h"
 #include "util/error.h"
@@ -335,6 +336,7 @@ dcf::System share_registers(const dcf::System& system,
   if (!(cache.bound_to(system))) {
     throw Error("share_registers: analysis cache bound to a different system");
   }
+  const obs::ObsSpan span("transform.regshare");
   const dcf::DataPath& dp = system.datapath();
   const LivenessResult& liveness = cached_liveness(cache);
   const graph::UndirectedGraph interference =

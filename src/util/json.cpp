@@ -1,0 +1,151 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace camad {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view text) {
+  return '"' + json_escape(text) + '"';
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int digits = 1; digits < 17; ++digits) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", digits, value);
+    double parsed = 0;
+    std::sscanf(probe, "%lf", &parsed);
+    if (parsed == value) {
+      return probe;
+    }
+  }
+  return buffer;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ << '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  counts_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ << '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  counts_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_ << '"' << json_escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  out_ << json_number(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::integer(std::int64_t number) {
+  separate();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::unsigned_integer(std::uint64_t number) {
+  separate();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  separate();
+  out_ << json;
+  return *this;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    // The colon was already written by key(); the value follows directly.
+    after_key_ = false;
+    return;
+  }
+  if (!counts_.empty()) {
+    if (counts_.back() > 0) out_ << ',';
+    ++counts_.back();
+  }
+}
+
+}  // namespace camad

@@ -1,0 +1,89 @@
+// Minimal JSON emission shared by the observability exporters
+// (obs::TraceSession, obs::MetricsRegistry) and the bench record writers
+// (bench/json_out.h). Writing only — parsing lives with the consumers
+// that need it (tests/obs_test.cpp carries a tiny validator).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace camad {
+
+/// Escapes `text` for use inside a JSON string literal (no surrounding
+/// quotes): ", \, and control characters become escape sequences.
+std::string json_escape(std::string_view text);
+
+/// `text` as a complete JSON string literal, quotes included.
+std::string json_quote(std::string_view text);
+
+/// Renders a finite double the way JSON expects (no inf/nan — those
+/// become 0); round-trips through shortest-ish %.17g without locale.
+std::string json_number(double value);
+
+/// Streaming JSON writer with automatic comma/colon bookkeeping.
+///
+///   JsonWriter w(out);
+///   w.begin_object().kv("bench", "sim").key("designs").begin_array();
+///   ...
+///   w.end_array().end_object();
+///
+/// The writer trusts its caller to produce a structurally valid
+/// document (keys only inside objects, one root value); it exists to
+/// remove the hand-rolled comma/escape bugs, not to police grammar.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(const std::string& text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& value(double number);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      return integer(static_cast<std::int64_t>(number));
+    } else {
+      return unsigned_integer(static_cast<std::uint64_t>(number));
+    }
+  }
+  /// Pre-rendered JSON value, emitted verbatim (e.g. an args object).
+  JsonWriter& raw(std::string_view json);
+
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  JsonWriter& integer(std::int64_t number);
+  JsonWriter& unsigned_integer(std::uint64_t number);
+  /// Comma before a value/key if the enclosing container needs one.
+  void separate();
+
+  std::ostream& out_;
+  /// One entry per open container: number of values emitted so far.
+  std::vector<std::size_t> counts_;
+  bool after_key_ = false;
+};
+
+}  // namespace camad

@@ -1,0 +1,389 @@
+// obs::TraceSession / obs::MetricsRegistry: the exported JSON must be
+// well-formed and Perfetto-shaped (every event carries ph/ts/pid/tid,
+// B/E spans nest per thread), deterministic mode must serialize
+// byte-identically across runs, and concurrent recording from the
+// sim::parallel_jobs worker pool must neither race nor drop events.
+// The validator here is a deliberately tiny recursive-descent JSON
+// parser — just enough structure to assert on, no dependency.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/adapters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/batch.h"
+#include "sim/simulator.h"
+
+namespace camad {
+namespace {
+
+// --- minimal JSON parser -------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(value);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return std::get<JsonObject>(value);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return std::get<JsonArray>(value);
+  }
+  [[nodiscard]] const std::string& string() const {
+    return std::get<std::string>(value);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses one value and requires the input to be fully consumed.
+  JsonValue parse() {
+    const JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    throw std::runtime_error("json error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue{parse_string()};
+      case 't':
+        parse_literal("true");
+        return JsonValue{true};
+      case 'f':
+        parse_literal("false");
+        return JsonValue{false};
+      case 'n':
+        parse_literal("null");
+        return JsonValue{nullptr};
+      default:
+        return JsonValue{parse_number()};
+    }
+  }
+
+  void parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+    pos_ += word.size();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (consume('}')) return JsonValue{std::move(object)};
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue{std::move(object)};
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (consume(']')) return JsonValue{std::move(array)};
+    while (true) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue{std::move(array)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            out += static_cast<char>(
+                std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses a trace document and returns its traceEvents array, asserting
+/// the envelope shape on the way.
+JsonArray trace_events(const std::string& json) {
+  const JsonValue doc = JsonParser(json).parse();
+  EXPECT_TRUE(doc.is_object());
+  const auto it = doc.object().find("traceEvents");
+  EXPECT_NE(it, doc.object().end());
+  return it->second.array();
+}
+
+// --- TraceSession --------------------------------------------------------
+
+TEST(TraceSession, EventsCarryRequiredFieldsAndNest) {
+  obs::TraceSession session;
+  session.activate();
+  {
+    const obs::ObsSpan outer("outer");
+    {
+      const obs::ObsSpan inner("inner.", "suffix");
+      session.counter("cache.size", 3.0);
+    }
+    session.instant("accepted", "{\"objective\":1.5}");
+  }
+  session.deactivate();
+
+  const JsonArray events = trace_events(session.to_json());
+  // 2 spans (B+E each) + 1 counter + 1 instant, plus possible metadata.
+  std::size_t spans = 0;
+  std::map<double, std::vector<char>> stacks;  // tid -> open-phase stack
+  bool saw_counter = false;
+  bool saw_instant = false;
+  for (const JsonValue& event : events) {
+    ASSERT_TRUE(event.is_object());
+    const JsonObject& fields = event.object();
+    for (const char* required : {"ph", "ts", "pid", "tid"}) {
+      ASSERT_TRUE(fields.count(required) == 1)
+          << "event missing '" << required << "'";
+    }
+    const std::string& ph = fields.at("ph").string();
+    const double tid = fields.at("tid").number();
+    if (ph == "B") {
+      stacks[tid].push_back('B');
+      ++spans;
+      ASSERT_TRUE(fields.count("name") == 1);
+    } else if (ph == "E") {
+      ASSERT_FALSE(stacks[tid].empty()) << "E without open B";
+      stacks[tid].pop_back();
+    } else if (ph == "C") {
+      saw_counter = true;
+      EXPECT_EQ(fields.at("name").string(), "cache.size");
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(fields.at("name").string(), "accepted");
+      EXPECT_EQ(fields.at("args").object().at("objective").number(), 1.5);
+    }
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unbalanced spans on tid " << tid;
+  }
+}
+
+TEST(TraceSession, DisabledSitesRecordNothingAndSkipArgsLambda) {
+  ASSERT_EQ(obs::TraceSession::active(), nullptr);
+  bool args_built = false;
+  {
+    const obs::ObsSpan span("never", [&] {
+      args_built = true;
+      return std::string("{}");
+    });
+  }
+  EXPECT_FALSE(args_built);
+
+  obs::TraceSession session;
+  // Not activated: instrumentation sites see no active session.
+  {
+    const obs::ObsSpan span("still-nothing");
+  }
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(TraceSession, DeterministicModeIsByteIdentical) {
+  auto record = [] {
+    obs::TraceSession session(obs::TraceOptions{true});
+    session.activate();
+    {
+      const obs::ObsSpan a("alpha");
+      const obs::ObsSpan b("beta");
+      session.counter("n", 1.0);
+    }
+    session.instant("done");
+    session.deactivate();
+    return session.to_json();
+  };
+  const std::string first = record();
+  const std::string second = record();
+  EXPECT_EQ(first, second);
+  // Still valid JSON with integer logical timestamps.
+  const JsonArray events = trace_events(first);
+  EXPECT_FALSE(events.empty());
+}
+
+TEST(TraceSession, ParallelWorkersRecordWithoutLossOrInterleaving) {
+  constexpr std::size_t kJobs = 64;
+  obs::TraceSession session;
+  session.activate();
+  sim::parallel_jobs(kJobs, 4, [](std::size_t worker, std::size_t job) {
+    const obs::ObsSpan span("job.", std::to_string(job));
+    if (obs::TraceSession* active = obs::TraceSession::active()) {
+      active->counter("worker." + std::to_string(worker),
+                      static_cast<double>(job));
+    }
+  });
+  session.deactivate();
+
+  const JsonArray events = trace_events(session.to_json());
+  std::size_t begins = 0;
+  std::size_t counters = 0;
+  std::map<double, std::size_t> open;  // tid -> currently open spans
+  for (const JsonValue& event : events) {
+    const JsonObject& fields = event.object();
+    const std::string& ph = fields.at("ph").string();
+    const double tid = fields.at("tid").number();
+    if (ph == "B") {
+      ++begins;
+      ++open[tid];
+    } else if (ph == "E") {
+      ASSERT_GT(open[tid], 0u) << "E without B on tid " << tid;
+      --open[tid];
+    } else if (ph == "C") {
+      ++counters;
+    }
+  }
+  EXPECT_EQ(begins, kJobs);
+  EXPECT_EQ(counters, kJobs);
+  for (const auto& [tid, depth] : open) {
+    EXPECT_EQ(depth, 0u) << "unbalanced spans on tid " << tid;
+  }
+}
+
+// --- MetricsRegistry + adapters ------------------------------------------
+
+TEST(MetricsRegistry, SnapshotRoundTripsThroughJson) {
+  obs::MetricsRegistry metrics;
+  metrics.add("runs");
+  metrics.add("runs", 4);
+  metrics.set("resident", 7.0);
+  for (int i = 1; i <= 100; ++i) metrics.observe("latency", i);
+
+  const JsonValue doc = JsonParser(metrics.to_json()).parse();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.object().at("counters").object().at("runs").number(), 5.0);
+  EXPECT_EQ(doc.object().at("gauges").object().at("resident").number(), 7.0);
+  const JsonObject& latency =
+      doc.object().at("histograms").object().at("latency").object();
+  EXPECT_EQ(latency.at("count").number(), 100.0);
+  EXPECT_EQ(latency.at("min").number(), 1.0);
+  EXPECT_EQ(latency.at("max").number(), 100.0);
+  EXPECT_GE(latency.at("p99").number(), latency.at("p50").number());
+}
+
+TEST(MetricsAdapters, PublishSimStatsMatchesSource) {
+  sim::SimStats stats;
+  stats.plan_cache_hits = 11;
+  stats.plan_cache_misses = 3;
+  stats.plan_cache_evictions = 1;
+  stats.plan_cache_size = 2;
+  obs::MetricsRegistry metrics;
+  obs::publish_sim_stats(metrics, stats);
+
+  const JsonValue doc = JsonParser(metrics.to_json()).parse();
+  const JsonObject& counters = doc.object().at("counters").object();
+  EXPECT_EQ(counters.at("sim.plan_cache.hits").number(), 11.0);
+  EXPECT_EQ(counters.at("sim.plan_cache.misses").number(), 3.0);
+  EXPECT_EQ(counters.at("sim.plan_cache.evictions").number(), 1.0);
+  EXPECT_EQ(doc.object().at("gauges").object().at("sim.plan_cache.size")
+                .number(),
+            2.0);
+}
+
+}  // namespace
+}  // namespace camad

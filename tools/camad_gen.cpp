@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gen/oracle.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 using namespace camad;
@@ -40,6 +41,8 @@ constexpr const char* kUsage =
     "  range FIRST COUNT sweep a seed interval (both levels)\n"
     "  soak MINUTES      sweep seeds until the time budget is spent\n"
     "    --start SEED    first seed of the sweep (default 1)\n"
+    "    --metrics[=F]   write run/failure counters + per-seed duration\n"
+    "                    histogram as JSON (default metrics.json)\n"
     "  corpus FILE       replay a seed-corpus file\n"
     "  --out-dir DIR     write failing artifacts to DIR\n";
 
@@ -73,6 +76,12 @@ std::optional<Args> parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
+      // --metrics is a flag when bare, --metrics=FILE overrides the path.
+      if (const auto eq = arg.find('=');
+          eq != std::string::npos && arg.substr(0, eq) == "--metrics") {
+        args.options.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+        continue;
+      }
       const bool takes_value =
           std::find(value_options.begin(), value_options.end(), arg) !=
           value_options.end();
@@ -174,15 +183,32 @@ int cmd_soak(const Args& args) {
                             std::chrono::duration<double, std::ratio<60>>(
                                 minutes));
   gen::OracleOptions options;
+  std::string metrics_path;
+  if (const auto path = args.option("--metrics")) {
+    metrics_path = *path;
+  } else if (args.flag("--metrics")) {
+    metrics_path = "metrics.json";
+  }
+  obs::MetricsRegistry metrics;
   std::size_t ran = 0;
   std::size_t failed = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     for (const gen::OracleLevel level :
          {gen::OracleLevel::kProgram, gen::OracleLevel::kSystem}) {
+      const auto t0 = std::chrono::steady_clock::now();
       const gen::OracleOutcome out = gen::run_seed(seed, level, options);
       ++ran;
+      metrics.add("soak.runs");
+      metrics.add(std::string("soak.runs.") +
+                  std::string(gen::level_name(level)));
+      metrics.observe("soak.seed_seconds",
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
       if (!out.ok) {
         ++failed;
+        metrics.add("soak.failures");
+        metrics.add("soak.failures." + out.stage);
         report_failure(out, args.option("--out-dir"));
       }
     }
@@ -190,6 +216,13 @@ int cmd_soak(const Args& args) {
   }
   std::cout << "soak: " << ran << " runs up to seed " << seed - 1 << ", "
             << failed << " failure(s)\n";
+  if (!metrics_path.empty()) {
+    metrics.set("soak.last_seed", static_cast<double>(seed - 1));
+    std::ofstream out(metrics_path);
+    if (!out) throw Error("cannot write '" + metrics_path + "'");
+    metrics.write_json(out);
+    std::cout << "metrics written to " << metrics_path << '\n';
+  }
   return failed == 0 ? 0 : 1;
 }
 

@@ -10,6 +10,16 @@
 //                 [--max-cycles N] [--trace] [--seed S]
 //   camadc report design.bdl [--trips T]
 //
+// `simulate` and `optimize` are aliases for `sim` and `synth`.
+//
+// Telemetry (transform / synth / sim): `--trace[=FILE]` records a
+// Chrome-trace-event timeline (chrome://tracing / Perfetto), default
+// trace.json; `--trace-deterministic` switches it to logical clocks for
+// byte-identical reruns; `--metrics[=FILE]` snapshots counters/gauges/
+// histograms as JSON, default metrics.json. On `sim`, bare `--trace`
+// keeps its historical meaning (print the event trace as text), so the
+// timeline there needs the explicit `--trace=FILE` form.
+//
 // Exit status: 0 on success, 1 on a failed check / simulation violation,
 // 2 on usage or parse errors.
 
@@ -25,6 +35,9 @@
 #include "synth/schedule.h"
 #include "dcf/export.h"
 #include "dcf/io.h"
+#include "obs/adapters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/environment.h"
 #include "sim/simulator.h"
 #include "sim/vcd.h"
@@ -88,7 +101,10 @@ constexpr const char* kUsage =
     "--no-verify\n"
     "  sim:    --in name=v1,v2,... --vcd PATH --max-cycles N --trace "
     "--seed S\n"
-    "  report: --trips T\n";
+    "  report: --trips T\n"
+    "  telemetry (transform/synth/sim): --trace[=FILE] "
+    "--trace-deterministic --metrics[=FILE]\n"
+    "  aliases: simulate = sim, optimize = synth\n";
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 3) return std::nullopt;
@@ -106,8 +122,12 @@ std::optional<Args> parse_args(int argc, char** argv) {
     // Inline form --key=value.
     if (const auto eq = arg.find('='); eq != std::string::npos) {
       const std::string key = arg.substr(0, eq);
-      if (std::find(value_options.begin(), value_options.end(), key) ==
-          value_options.end()) {
+      // --trace/--metrics are flags when bare but accept an inline
+      // =FILE to override the default output path.
+      const bool inline_only = key == "--trace" || key == "--metrics";
+      if (!inline_only &&
+          std::find(value_options.begin(), value_options.end(), key) ==
+              value_options.end()) {
         return std::nullopt;
       }
       args.options.emplace_back(key, arg.substr(eq + 1));
@@ -139,6 +159,60 @@ void write_file(const std::string& path, const std::string& text) {
   if (!out) throw Error("cannot write '" + path + "'");
   out << text;
 }
+
+/// Per-command telemetry: an optional activated TraceSession plus a
+/// MetricsRegistry, configured from --trace[=FILE], --trace-deterministic
+/// and --metrics[=FILE]. The CLI pattern is activate -> run -> finish()
+/// (deactivate + write both files).
+struct Telemetry {
+  Telemetry(const Args& args, bool bare_trace_is_chrome) {
+    const bool deterministic = args.flag("--trace-deterministic");
+    if (const auto path = args.option("--trace")) {
+      trace_path = *path;
+    } else if ((bare_trace_is_chrome && args.flag("--trace")) ||
+               deterministic) {
+      trace_path = "trace.json";
+    }
+    if (const auto path = args.option("--metrics")) {
+      metrics_path = *path;
+    } else if (args.flag("--metrics")) {
+      metrics_path = "metrics.json";
+    }
+    if (!trace_path.empty()) {
+      trace.emplace(obs::TraceOptions{deterministic});
+      trace->activate();
+    }
+  }
+  ~Telemetry() {
+    if (trace) trace->deactivate();
+  }
+
+  [[nodiscard]] bool metrics_enabled() const { return !metrics_path.empty(); }
+
+  /// Deactivates the session and writes whatever was requested. Call
+  /// after all worker threads have joined.
+  void finish() {
+    if (trace) {
+      trace->deactivate();
+      std::ofstream out(trace_path);
+      if (!out) throw Error("cannot write '" + trace_path + "'");
+      trace->write_json(out);
+      std::cout << "trace written to " << trace_path << " ("
+                << trace->event_count() << " events)\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) throw Error("cannot write '" + metrics_path + "'");
+      metrics.write_json(out);
+      std::cout << "metrics written to " << metrics_path << '\n';
+    }
+  }
+
+  std::string trace_path;
+  std::string metrics_path;
+  std::optional<obs::TraceSession> trace;
+  obs::MetricsRegistry metrics;
+};
 
 /// Loads either BDL source or a saved `camad-system v1` file.
 dcf::System load_any(const std::string& path) {
@@ -178,6 +252,7 @@ int cmd_compile(const Args& args) {
 }
 
 int cmd_transform(const Args& args) {
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
   dcf::System system = load_any(args.file);
   if (const auto spec = args.option("--passes")) {
     // Pipeline form: one AnalysisCache threaded through the sequence,
@@ -194,10 +269,16 @@ int cmd_transform(const Args& args) {
     if (args.flag("--print-pass-stats")) {
       std::cout << pipeline.stats_to_string();
     }
+    if (telemetry.metrics_enabled()) {
+      obs::publish_pass_stats(telemetry.metrics, pipeline.stats());
+      obs::publish_analysis_stats(telemetry.metrics,
+                                  pipeline.cache_stats());
+    }
   }
   // Flag passes run in command-line order (after --passes, if both given).
   for (const std::string& flag : args.flags) {
-    if (flag == "--print-pass-stats") {
+    if (flag == "--print-pass-stats" || flag == "--trace" ||
+        flag == "--trace-deterministic" || flag == "--metrics") {
       continue;
     } else if (flag == "--parallelize") {
       transform::ParallelizeStats stats;
@@ -233,10 +314,12 @@ int cmd_transform(const Args& args) {
       args.option("--out").value_or(system.name() + ".sys");
   write_file(out, dcf::save_system(system));
   std::cout << "system written to " << out << "\n";
+  telemetry.finish();
   return report.ok() ? 0 : 1;
 }
 
 int cmd_synth(const Args& args) {
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
   synth::SynthesisOptions options;
   if (const auto lambda = args.option("--lambda")) {
     options.optimizer.area_weight = std::stod(*lambda);
@@ -260,10 +343,27 @@ int cmd_synth(const Args& args) {
     write_file(*path, dcf::system_to_dot(result.optimized));
     std::cout << "dot written to " << *path << '\n';
   }
+  if (telemetry.metrics_enabled()) {
+    obs::publish_sim_stats(telemetry.metrics, result.optimization.sim_stats);
+    obs::publish_analysis_stats(telemetry.metrics,
+                                result.optimization.analysis_stats);
+    telemetry.metrics.add("optimize.candidates_evaluated",
+                          result.optimization.candidates_evaluated);
+    telemetry.metrics.add("optimize.merges_applied",
+                          result.optimization.merges_applied);
+    telemetry.metrics.set("optimize.final_area",
+                          result.optimization.final.area);
+    telemetry.metrics.set("optimize.final_time_ns",
+                          result.optimization.final.time_ns);
+  }
+  telemetry.finish();
   return 0;
 }
 
 int cmd_sim(const Args& args) {
+  // Bare --trace keeps its historical meaning here (text event trace),
+  // so only --trace=FILE / --trace-deterministic open a chrome session.
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/false);
   const dcf::System system = load_any(args.file);
 
   sim::Environment env;
@@ -308,6 +408,7 @@ int cmd_sim(const Args& args) {
                     : (result.deadlocked ? "deadlocked" : "cycle limit"))
             << " after " << result.cycles << " cycles, "
             << result.trace.event_count() << " external events\n";
+  std::cout << "  " << result.stats.to_string() << '\n';
   for (const std::string& violation : result.violations) {
     std::cout << "violation: " << violation << '\n';
   }
@@ -329,6 +430,12 @@ int cmd_sim(const Args& args) {
     write_file(*path, sim::to_vcd(system, result.trace));
     std::cout << "waveform written to " << *path << '\n';
   }
+  if (telemetry.metrics_enabled()) {
+    obs::publish_sim_stats(telemetry.metrics, result.stats);
+    telemetry.metrics.set("sim.cycles", static_cast<double>(result.cycles));
+    telemetry.metrics.add("sim.runs");
+  }
+  telemetry.finish();
   return result.violations.empty() ? 0 : 1;
 }
 
@@ -390,8 +497,12 @@ int main(int argc, char** argv) {
     if (args->command == "check") return cmd_check(*args);
     if (args->command == "compile") return cmd_compile(*args);
     if (args->command == "transform") return cmd_transform(*args);
-    if (args->command == "synth") return cmd_synth(*args);
-    if (args->command == "sim") return cmd_sim(*args);
+    if (args->command == "synth" || args->command == "optimize") {
+      return cmd_synth(*args);
+    }
+    if (args->command == "sim" || args->command == "simulate") {
+      return cmd_sim(*args);
+    }
     if (args->command == "report") return cmd_report(*args);
     std::cerr << kUsage;
     return 2;
