@@ -1,0 +1,147 @@
+// Parallel scaling of the mc:: explicit-state checker: the same wide
+// fork/join workload explored at 1/2/4/8 worker threads. The level-
+// synchronized BFS keeps every verdict thread-count-invariant, so the
+// only thing that may change with the thread dial is wall-clock — this
+// bench pins both halves of that contract (same_verdicts is asserted on
+// every run, speedup is reported).
+//
+// Pass --json[=PATH] (default BENCH_mc.json) to emit per-workload
+// states/second and speedup-vs-1-thread for each thread count, the
+// record docs/PERF.md and the CI bench artifact consume. Without
+// --json the same sweep runs under google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "json_out.h"
+#include "mc/checker.h"
+#include "petri/reachability.h"
+#include "util/error.h"
+#include "workloads.h"
+
+using namespace camad;
+
+namespace {
+
+struct Workload {
+  const char* name;
+  std::size_t depth;
+  std::size_t width;
+  std::size_t chain;
+};
+
+// Widths chosen so the interleaving space is large enough (~1e5–1e6
+// states) for thread scaling to show, yet bounded enough for CI.
+constexpr Workload kWorkloads[] = {
+    {"fork8x4", 1, 8, 4},
+    {"fork9x4", 1, 9, 4},
+    {"nest2x4", 2, 4, 3},
+};
+
+petri::Net net_for(const Workload& w) {
+  bench::SpNetOptions options;
+  options.depth = w.depth;
+  options.width = w.width;
+  options.chain = w.chain;
+  return bench::random_sp_net(/*seed=*/3, options);
+}
+
+mc::McOptions options_for(std::size_t threads) {
+  mc::McOptions opt;
+  opt.threads = threads;
+  opt.max_states = std::size_t{1} << 22;
+  // The scaling story is about raw exploration; the relation is O(|S|^2)
+  // post-processing that would blur the per-thread numbers.
+  opt.compute_concurrency = false;
+  return opt;
+}
+
+double run_once(const petri::Net& net, std::size_t threads,
+                const mc::McResult& reference) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const mc::McResult out = mc::model_check(net, options_for(threads));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!out.complete) throw Error("bench_mc: workload exceeded max_states");
+  if (!mc::same_verdicts(out, reference)) {
+    throw Error("bench_mc: verdicts diverge at " + std::to_string(threads) +
+                " threads");
+  }
+  return seconds;
+}
+
+bool emit_json(const std::string& path) {
+  bench::BenchJson json(path, "mc", "states_per_second");
+  json.meta("hardware_threads",
+            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  for (const Workload& w : kWorkloads) {
+    const petri::Net net = net_for(w);
+    const mc::McResult reference = mc::model_check(net, options_for(1));
+    json.begin_design(w.name)
+        .field("states", static_cast<std::uint64_t>(reference.state_count))
+        .field("depth", static_cast<std::uint64_t>(reference.depth));
+    double base = 0.0;
+    for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+      // Best of three: the scaling curve, not scheduler noise.
+      double best = run_once(net, threads, reference);
+      for (int rep = 0; rep < 2; ++rep) {
+        best = std::min(best, run_once(net, threads, reference));
+      }
+      if (threads == 1) base = best;
+      const double rate = static_cast<double>(reference.state_count) / best;
+      const std::string suffix = "_t" + std::to_string(threads);
+      json.field("states_per_second" + suffix,
+                 static_cast<std::uint64_t>(rate))
+          .field("speedup" + suffix, bench::rounded(base / best, 2));
+      std::cout << "BENCH_mc " << w.name << " t=" << threads << ": "
+                << static_cast<std::uint64_t>(rate) << " states/s, "
+                << bench::rounded(base / best, 2) << "x\n";
+    }
+    json.end_design();
+  }
+  return json.finish();
+}
+
+void BM_model_check(benchmark::State& state, const Workload& w) {
+  const petri::Net net = net_for(w);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const mc::McResult reference = mc::model_check(net, options_for(1));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const mc::McResult out = mc::model_check(net, options_for(threads));
+    benchmark::DoNotOptimize(out.state_count);
+    states += out.state_count;
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::extract_json_path(argc, argv, "BENCH_mc.json");
+  if (!json_path.empty()) {
+    return emit_json(json_path) ? 0 : 1;
+  }
+  for (const Workload& w : kWorkloads) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_model_check/") + w.name).c_str(), BM_model_check, w)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,8 +4,10 @@
 #include <memory>
 #include <sstream>
 
+#include "dcf/guardinfo.h"
 #include "graph/algorithms.h"
 #include "graph/digraph.h"
+#include "mc/checker.h"
 #include "petri/invariants.h"
 #include "petri/order.h"
 #include "semantics/analysis.h"
@@ -30,24 +32,44 @@ class ParallelRelation {
  public:
   /// `cache` (nullable) supplies memoized relations; it is consulted only
   /// when bound to the checked system with matching reachability options
-  /// (the caller guarantees both — see usable_cache below).
+  /// (the caller guarantees both — see usable_cache below). A
+  /// reachability-refined relation that cannot be completed within the
+  /// exploration budget is an under-approximation (unsound for rules 1
+  /// and 4), so those paths degrade to the structural relation and leave
+  /// a warning in `report` instead of throwing.
   ParallelRelation(const petri::Net& net, const CheckOptions& options,
-                   const semantics::AnalysisCache* cache)
+                   const semantics::AnalysisCache* cache,
+                   const mc::McResult* exact, CheckReport& report)
       : n_(net.place_count()) {
+    if (exact != nullptr && !exact->concurrency.empty()) {
+      conc_ = &exact->concurrency;
+      return;
+    }
     if (options.use_reachable_concurrency) {
       if (cache != nullptr) {
-        conc_ = &cache->concurrency();
+        if (cache->reachability().complete) {
+          conc_ = &cache->concurrency();
+          return;
+        }
       } else {
-        own_conc_ = petri::concurrent_places(net, options.reachability);
-        conc_ = &own_conc_;
+        petri::ConcurrencyRelation rel =
+            petri::concurrent_places_bounded(net, options.reachability);
+        if (rel.exploration.complete) {
+          own_conc_ = std::move(rel.concurrent);
+          conc_ = &own_conc_;
+          return;
+        }
       }
+      report.warnings.push_back(
+          {Rule::kParallelDisjoint,
+           "reachable-concurrency refinement exceeded the exploration "
+           "budget; using the structural parallel relation instead"});
+    }
+    if (cache != nullptr) {
+      order_ = &cache->order();
     } else {
-      if (cache != nullptr) {
-        order_ = &cache->order();
-      } else {
-        own_order_ = std::make_unique<petri::OrderRelations>(net);
-        order_ = own_order_.get();
-      }
+      own_order_ = std::make_unique<petri::OrderRelations>(net);
+      order_ = own_order_.get();
     }
   }
 
@@ -142,49 +164,64 @@ void check_safety(const System& system, const CheckOptions& options,
   }
 }
 
-/// True iff ports `a` and `b` are provably complementary guard sources.
-/// Recognized patterns (what the BDL compiler emits):
-///   * one port is the output of a kNot unit whose single input arc comes
-///     from the other port (q = NOT p);
-///   * both ports sit on the same vertex with complementary predicate ops
-///     (eq/ne, lt/ge, gt/le) over the vertex's shared input ports;
-///   * one level of register indirection over either pattern: a condition
-///     register whose only latch source is such a port.
-bool complementary_ports(const System& system, PortId a, PortId b) {
-  const DataPath& dp = system.datapath();
+/// Rule 2 against a *complete* guard-aware state space: the witness, if
+/// any, is a marking actually reachable under guard semantics (the
+/// unguarded explorer may report spurious witnesses pruned by guards).
+void check_safety_exact(const System& system, const mc::McResult& exact,
+                        CheckReport& report) {
+  const auto& net = system.control().net();
+  for (PlaceId p : net.places()) {
+    if (net.initial_tokens(p) > 1) {
+      report.violations.push_back(
+          {Rule::kSafety, "initial marking puts " +
+                              std::to_string(net.initial_tokens(p)) +
+                              " tokens on " + net.name(p)});
+      return;
+    }
+  }
+  if (!exact.safe && exact.unsafe_witness.has_value()) {
+    std::string marked;
+    for (PlaceId p : exact.unsafe_witness->marked_places()) {
+      marked += " " + net.name(p) + "(" +
+                std::to_string(exact.unsafe_witness->tokens(p)) + ")";
+    }
+    report.violations.push_back(
+        {Rule::kSafety,
+         "net is unsafe under guard-aware exploration; witness marking:" +
+             marked});
+  }
+}
 
-  auto strip_reg = [&](PortId port) -> PortId {
-    if (dp.operation(port).code != OpCode::kReg) return port;
-    const VertexId v = dp.owner(port);
-    const auto& ins = dp.input_ports(v);
-    if (ins.size() != 1) return port;
-    const auto& arcs = dp.arcs_into(ins[0]);
-    if (arcs.size() != 1) return port;
-    return dp.arc_source(arcs[0]);
-  };
-  const PortId pa = strip_reg(a);
-  const PortId pb = strip_reg(b);
-
-  auto is_not_of = [&](PortId maybe_not, PortId base) {
-    const VertexId v = dp.owner(maybe_not);
-    if (dp.operation(maybe_not).code != OpCode::kNot) return false;
-    const auto& ins = dp.input_ports(v);
-    if (ins.size() != 1) return false;
-    const auto& arcs = dp.arcs_into(ins[0]);
-    return arcs.size() == 1 && dp.arc_source(arcs[0]) == base;
-  };
-  if (is_not_of(pa, pb) || is_not_of(pb, pa)) return true;
-
-  auto complementary_codes = [](OpCode x, OpCode y) {
-    return (x == OpCode::kEq && y == OpCode::kNe) ||
-           (x == OpCode::kNe && y == OpCode::kEq) ||
-           (x == OpCode::kLt && y == OpCode::kGe) ||
-           (x == OpCode::kGe && y == OpCode::kLt) ||
-           (x == OpCode::kGt && y == OpCode::kLe) ||
-           (x == OpCode::kLe && y == OpCode::kGt);
-  };
-  return dp.owner(pa) == dp.owner(pb) &&
-         complementary_codes(dp.operation(pa).code, dp.operation(pb).code);
+/// Rule 3 per reachable marking: only competitor pairs that are jointly
+/// token-enabled *and* guard-allowed in some reachable state are
+/// reported. Statically unprovable pairs that never co-compete reachably
+/// are silently fine — the refinement over check_conflict_free below.
+void check_conflict_free_exact(const System& system,
+                               const mc::McResult& exact,
+                               CheckReport& report) {
+  const auto& net = system.control().net();
+  for (const mc::McConflict& c : exact.conflicts) {
+    const std::string msg =
+        "place " + net.name(c.place) + " has competing transitions " +
+        net.name(c.a) + ", " + net.name(c.b) +
+        " jointly enabled in a reachable marking";
+    if (c.unguarded) {
+      report.violations.push_back(
+          {Rule::kConflictFree, msg + " and at least one is unguarded"});
+    } else {
+      report.warnings.push_back(
+          {Rule::kConflictFree,
+           msg + "; guards not statically provable exclusive — verify "
+                 "dynamically"});
+    }
+  }
+  if (exact.conflicts_truncated > 0) {
+    report.warnings.push_back(
+        {Rule::kConflictFree,
+         std::to_string(exact.conflicts_truncated) +
+             " further reachable conflict triple(s) beyond the reporting "
+             "cap"});
+  }
 }
 
 void check_conflict_free(const System& system, CheckReport& report) {
@@ -207,7 +244,7 @@ void check_conflict_free(const System& system, CheckReport& report) {
         // Provable exclusivity: some guard of one complements some guard
         // of the other and each side is singly guarded.
         const bool provable = gi.size() == 1 && gj.size() == 1 &&
-                              complementary_ports(system, gi[0], gj[0]);
+                              complementary_guard_ports(system, gi[0], gj[0]);
         if (!provable) {
           report.warnings.push_back(
               {Rule::kConflictFree,
@@ -373,10 +410,47 @@ CheckReport check_properly_designed_impl(
     const semantics::AnalysisCache* cache) {
   system.validate();
   CheckReport report;
-  const ParallelRelation parallel(system.control().net(), options, cache);
+  const mc::McResult* exact = nullptr;
+  mc::McResult own_exact;
+  if (options.exact) {
+    if (cache != nullptr) {
+      exact = &cache->model_check();
+    } else {
+      mc::McOptions opt;
+      opt.max_states = options.reachability.max_markings;
+      opt.token_bound = options.reachability.token_bound;
+      own_exact = mc::model_check(system, opt);
+      exact = &own_exact;
+    }
+    if (!exact->complete) {
+      // A partial co-marking relation is an *under*-approximation —
+      // feeding it to rules 1/4 could miss real overlaps. Fall back to
+      // the sound structural / static procedures and say so.
+      report.warnings.push_back(
+          {Rule::kParallelDisjoint,
+           "exact model check stopped early (" + exact->cutoff_reason +
+               ", " + std::to_string(exact->state_count) +
+               " states); falling back to structural/static procedures"});
+      exact = nullptr;
+    }
+  }
+  // Rule 1 with the exact relation needs no per-marking machinery: Def
+  // 3.2 rule 1 quantifies over *pairs* of parallel states, and two
+  // states' association sets are jointly active in some reachable
+  // marking iff the states are co-marked there — which is exactly what
+  // exact->concurrency records. Pairwise over the exact relation is
+  // therefore equivalent to checking disjointness per whole reachable
+  // marking (tests/mc_test.cpp Rule1PairwiseEqualsWholeMarking).
+  const ParallelRelation parallel(system.control().net(), options, cache,
+                                  exact, report);
   check_parallel_disjoint(system, parallel, report);
-  check_safety(system, options, cache, report);
-  check_conflict_free(system, report);
+  if (exact != nullptr) {
+    check_safety_exact(system, *exact, report);
+    check_conflict_free_exact(system, *exact, report);
+  } else {
+    check_safety(system, options, cache, report);
+    check_conflict_free(system, report);
+  }
   check_no_comb_loop(system, parallel, report);
   check_sequential_result(system, options, report);
   return report;

@@ -51,6 +51,16 @@ struct Violation {
 struct CheckOptions {
   /// Refine ∥ with reachability instead of the paper's structural relation.
   bool use_reachable_concurrency = false;
+  /// Evaluate rules 1-3 against the guard-aware reachable state space
+  /// (mc::model_check) instead of the structural / static procedures:
+  /// rule 1 quantifies over the exact co-marking relation, rule 2 uses
+  /// the guard-refined safety verdict (with a counterexample trace), and
+  /// rule 3 reports only conflicts that are reachably co-enabled. If the
+  /// model check exhausts its budget (reachability.max_markings states)
+  /// the checker falls back to the procedures above and records a
+  /// warning — it never silently weakens a verdict with a partial
+  /// relation. Supersedes use_reachable_concurrency.
+  bool exact = false;
   /// Safety: try the polynomial P-invariant certificate before falling
   /// back to explicit reachability.
   bool try_invariant_certificate = true;

@@ -1,0 +1,84 @@
+#include "dcf/guardinfo.h"
+
+#include <optional>
+
+namespace camad::dcf {
+namespace {
+
+/// Positive representative of a complementary predicate pair, or the code
+/// itself when it is already canonical / not a predicate.
+OpCode positive_sibling_code(OpCode code) {
+  switch (code) {
+    case OpCode::kNe: return OpCode::kEq;
+    case OpCode::kGe: return OpCode::kLt;
+    case OpCode::kLe: return OpCode::kGt;
+    default: return code;
+  }
+}
+
+/// The single source feeding a one-input vertex's only input port, if the
+/// vertex has exactly one input with exactly one arc.
+std::optional<PortId> sole_source(const DataPath& dp, VertexId v) {
+  const auto& ins = dp.input_ports(v);
+  if (ins.size() != 1) return std::nullopt;
+  const auto& arcs = dp.arcs_into(ins[0]);
+  if (arcs.size() != 1) return std::nullopt;
+  return dp.arc_source(arcs[0]);
+}
+
+}  // namespace
+
+GuardClass classify_guard_port(const System& system, PortId port) {
+  const DataPath& dp = system.datapath();
+  GuardClass out{port, true, false, {}};
+  PortId p = port;
+
+  // One level of condition-register indirection.
+  if (dp.operation(p).code == OpCode::kReg) {
+    const VertexId v = dp.owner(p);
+    const auto& ins = dp.input_ports(v);
+    if (ins.size() == 1 && dp.arcs_into(ins[0]).size() == 1) {
+      const ArcId latch_arc = dp.arcs_into(ins[0])[0];
+      out.latched = true;
+      out.latch_states = system.control().controlling_states(latch_arc);
+      p = dp.arc_source(latch_arc);
+    }
+  }
+
+  // q = NOT base.
+  if (dp.operation(p).code == OpCode::kNot) {
+    if (const auto src = sole_source(dp, dp.owner(p))) {
+      out.positive = !out.positive;
+      p = *src;
+    }
+  }
+
+  // Negative comparator of a same-vertex complementary pair.
+  const OpCode code = dp.operation(p).code;
+  const OpCode sibling_code = positive_sibling_code(code);
+  if (sibling_code != code) {
+    PortId sibling = PortId();
+    std::size_t matches = 0;
+    for (PortId o : dp.output_ports(dp.owner(p))) {
+      if (dp.operation(o).code == sibling_code) {
+        sibling = o;
+        ++matches;
+      }
+    }
+    if (matches == 1) {
+      out.positive = !out.positive;
+      p = sibling;
+    }
+  }
+
+  out.base = p;
+  return out;
+}
+
+bool complementary_guard_ports(const System& system, PortId a, PortId b) {
+  const GuardClass ca = classify_guard_port(system, a);
+  const GuardClass cb = classify_guard_port(system, b);
+  return ca.base == cb.base && ca.positive != cb.positive;
+}
+
+}  // namespace camad::dcf

@@ -1,0 +1,46 @@
+// Guard-port classification shared by the Def 3.2 rule-3 checker and the
+// model checker's guard-exclusive successor relation.
+//
+// A guard port is canonicalized to a (base port, polarity) pair by peeling
+// the patterns the BDL compiler emits, one level each:
+//   * a condition register's output maps to its single latch source (and
+//     records *which control states may relatch it* — the controlling
+//     states of the arc into the register's input);
+//   * a kNot unit's output maps to its single source with flipped polarity;
+//   * the "negative" comparator of a complementary pair on one vertex
+//     (ne/ge/le) maps to its unique positive sibling (eq/lt/gt) with
+//     flipped polarity — both read the vertex's shared inputs.
+// Two guard ports are provably complementary iff they canonicalize to the
+// same base with opposite polarities.
+#pragma once
+
+#include <vector>
+
+#include "dcf/system.h"
+
+namespace camad::dcf {
+
+struct GuardClass {
+  /// Canonical representative output port of the condition value.
+  PortId base;
+  /// port ≡ base when true, port ≡ ¬base when false.
+  bool positive = true;
+  /// The guard is a condition register over `base`: its value is frozen
+  /// between latch events, so a fired guard *commits* the condition's
+  /// polarity until a latch state is marked again.
+  bool latched = false;
+  /// Control states that may relatch the condition register (controlling
+  /// states of the arc into its input); empty unless `latched`.
+  std::vector<petri::PlaceId> latch_states;
+};
+
+/// Canonicalizes one guard port. Total: unrecognized shapes classify as
+/// themselves (base = port, positive, not latched).
+GuardClass classify_guard_port(const System& system, PortId port);
+
+/// True iff `a` and `b` are provably complementary guard sources (same
+/// canonical base, opposite polarity). This is the static exclusivity
+/// the rule-3 checker accepts and the relation mc refines dynamically.
+bool complementary_guard_ports(const System& system, PortId a, PortId b);
+
+}  // namespace camad::dcf

@@ -10,6 +10,8 @@
 #include "dcf/check.h"
 #include "dcf/io.h"
 #include "gen/shrink.h"
+#include "mc/checker.h"
+#include "petri/reachability.h"
 #include "obs/trace.h"
 #include "semantics/analysis.h"
 #include "semantics/equivalence.h"
@@ -195,6 +197,92 @@ void transform_chain(const dcf::System& original, std::uint64_t seed,
   }
 }
 
+// --- model-checker cross-check ----------------------------------------------
+
+/// Replays a witness trace and demands it reaches the claimed marking.
+void require_witness_replays(const petri::Net& net, const char* what,
+                             const std::optional<petri::Marking>& witness,
+                             const std::vector<petri::TransitionId>& trace) {
+  if (!witness.has_value()) return;
+  const std::optional<petri::Marking> replayed =
+      mc::replay_trace(net, trace);
+  if (!replayed.has_value()) {
+    throw StageFailure{"mc", std::string(what) +
+                                 " witness trace has a disabled step"};
+  }
+  if (!(*replayed == *witness)) {
+    throw StageFailure{"mc", std::string(what) +
+                                 " witness trace replays to a different "
+                                 "marking"};
+  }
+}
+
+/// Stage "mc": the model checker vs the petri explorer on one system.
+void mc_crosscheck_stage(const dcf::System& system,
+                         const OracleOptions& opt) {
+  if (!opt.mc_crosscheck) return;
+  const obs::ObsSpan span("oracle.mc");
+  const petri::Net& net = system.control().net();
+  const petri::ReachabilityOptions ro;
+
+  mc::McOptions mo;
+  mo.max_states = ro.max_markings;
+  mo.token_bound = ro.token_bound;
+  const mc::McResult bare = mc::model_check(net, mo);
+  const mc::McResult guarded = mc::model_check(system, mo);
+  require_witness_replays(net, "bare unsafe", bare.unsafe_witness,
+                          bare.unsafe_trace);
+  require_witness_replays(net, "bare deadlock", bare.deadlock_witness,
+                          bare.deadlock_trace);
+  require_witness_replays(net, "guarded unsafe", guarded.unsafe_witness,
+                          guarded.unsafe_trace);
+  require_witness_replays(net, "guarded deadlock",
+                          guarded.deadlock_witness, guarded.deadlock_trace);
+
+  // Unguarded mc must reproduce the petri explorer bit-for-bit. The two
+  // stop at different granularities when the budget bites (mid-expansion
+  // vs level boundary), so verdicts are only comparable on complete runs.
+  const petri::ConcurrencyRelation ref =
+      petri::concurrent_places_bounded(net, ro);
+  if (ref.exploration.complete && bare.complete) {
+    const petri::ReachabilityResult& re = ref.exploration;
+    if (bare.safe != re.safe || bare.bounded != re.bounded ||
+        bare.deadlock != re.deadlock ||
+        bare.can_terminate != re.can_terminate ||
+        bare.marking_count != re.marking_count) {
+      throw StageFailure{
+          "mc", "unguarded mc verdicts diverge from petri::explore"};
+    }
+    if (bare.concurrency != ref.concurrent) {
+      throw StageFailure{
+          "mc",
+          "unguarded mc concurrency diverges from concurrent_places"};
+    }
+  }
+
+  // The guard-aware run is a refinement: it explores a subset of the
+  // unguarded markings, so safety is implied and every relation shrinks.
+  if (bare.complete && guarded.complete) {
+    if (bare.safe && !guarded.safe) {
+      throw StageFailure{"mc",
+                         "unguarded-safe but guard-aware run is unsafe"};
+    }
+    if (guarded.marking_count > bare.marking_count) {
+      throw StageFailure{"mc", "guard-aware run visited more markings (" +
+                                   std::to_string(guarded.marking_count) +
+                                   ") than the unguarded run (" +
+                                   std::to_string(bare.marking_count) +
+                                   ")"};
+    }
+    for (std::size_t i = 0; i < guarded.concurrency.size(); ++i) {
+      if (guarded.concurrency[i] && !bare.concurrency[i]) {
+        throw StageFailure{
+            "mc", "guard-aware concurrency is not a subset of unguarded"};
+      }
+    }
+  }
+}
+
 // --- per-level batteries ----------------------------------------------------
 
 void run_system_battery(const dcf::System& system, std::uint64_t seed,
@@ -206,6 +294,7 @@ void run_system_battery(const dcf::System& system, std::uint64_t seed,
       throw StageFailure{"check", report.to_string()};
     }
   }
+  mc_crosscheck_stage(system, opt);
   engine_differential(system, seed, opt);
   transform_chain(system, seed, opt);
   if (io_stage && opt.check_io) {

@@ -71,6 +71,13 @@ struct OracleOptions {
   bool check_roundtrip = true;
   bool check_fold = true;
   bool check_io = true;
+  /// Cross-check the mc model checker against the petri explorer on
+  /// every generated system (stage "mc"): unguarded mc must reproduce
+  /// petri::explore's verdicts and concurrency relation bit-for-bit,
+  /// the guard-aware run must be a refinement of the unguarded one
+  /// (fewer markings, subset concurrency, implied safety), and every
+  /// witness trace must replay to its claimed marking.
+  bool mc_crosscheck = false;
   /// Minimize failures before reporting (costs predicate re-runs).
   bool shrink_failures = true;
   std::size_t max_shrink_attempts = 400;

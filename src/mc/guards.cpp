@@ -1,0 +1,64 @@
+#include "mc/guards.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "mc/encode.h"
+
+namespace camad::mc {
+
+GuardModel::GuardModel(const dcf::System& system) {
+  const auto& control = system.control();
+  const auto& net = control.net();
+  const std::size_t t_count = net.transition_count();
+  const std::size_t support_words = (net.place_count() + 63) / 64;
+
+  constraint_cell_.assign(t_count, -1);
+  constraint_value_.assign(t_count, kUnknown);
+  single_class_.assign(t_count, false);
+  class_base_.assign(t_count, 0);
+  class_positive_.assign(t_count, false);
+  guarded_.assign(t_count, false);
+
+  // (base port, sorted latch-state set) -> commitment cell.
+  std::map<std::pair<std::uint32_t, std::vector<std::uint32_t>>, std::size_t>
+      cells;
+
+  for (petri::TransitionId t : net.transitions()) {
+    const auto& guards = control.guards(t);
+    guarded_[t.index()] = !guards.empty();
+    // Only singly-guarded transitions are constrained / classified: a
+    // multi-guard transition fires on the OR of its ports, which commits
+    // no single condition.
+    if (guards.size() != 1) continue;
+
+    const dcf::GuardClass cls = dcf::classify_guard_port(system, guards[0]);
+    single_class_[t.index()] = true;
+    class_base_[t.index()] = cls.base.value();
+    class_positive_[t.index()] = cls.positive;
+    if (!cls.latched) continue;
+
+    std::vector<std::uint32_t> latch;
+    latch.reserve(cls.latch_states.size());
+    for (petri::PlaceId s : cls.latch_states) latch.push_back(s.value());
+    std::sort(latch.begin(), latch.end());
+    latch.erase(std::unique(latch.begin(), latch.end()), latch.end());
+
+    const auto key = std::make_pair(cls.base.value(), latch);
+    auto [it, inserted] = cells.try_emplace(key, cell_count_);
+    if (inserted) {
+      ++cell_count_;
+      std::vector<std::uint64_t> support(support_words, 0);
+      for (const std::uint32_t s : latch) {
+        support[s >> 6] |= std::uint64_t{1} << (s & 63);
+      }
+      latch_support_.push_back(std::move(support));
+      cell_names_.push_back(system.datapath().name(cls.base));
+    }
+    constraint_cell_[t.index()] = static_cast<std::int32_t>(it->second);
+    constraint_value_[t.index()] = cls.positive ? kCondTrue : kCondFalse;
+  }
+}
+
+}  // namespace camad::mc

@@ -1,0 +1,106 @@
+#include "mc/store.h"
+
+#include <algorithm>
+
+namespace camad::mc {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+VisitedStore::VisitedStore(const StateCodec& codec, std::size_t shard_count)
+    : codec_(&codec),
+      words_(codec.words()),
+      shards_(round_up_pow2(std::max<std::size_t>(1, shard_count))) {
+  std::size_t log2 = 0;
+  while ((std::size_t{1} << log2) < shards_.size()) ++log2;
+  shard_shift_ = static_cast<std::uint32_t>(64 - log2);
+  for (Shard& shard : shards_) {
+    shard.slots.assign(1024, 0);
+  }
+}
+
+void VisitedStore::grow(Shard& shard) {
+  const std::size_t new_size = shard.slots.size() * 2;
+  std::vector<std::uint32_t> slots(new_size, 0);
+  const std::size_t mask = new_size - 1;
+  for (std::size_t entry = 0; entry < shard.count; ++entry) {
+    std::size_t pos = shard.hashes[entry] & mask;
+    while (slots[pos] != 0) pos = (pos + 1) & mask;
+    slots[pos] = static_cast<std::uint32_t>(entry + 1);
+  }
+  shard.slots = std::move(slots);
+}
+
+std::pair<StateRef, bool> VisitedStore::insert_or_improve(
+    const std::uint64_t* words, std::uint64_t hash, const StateMeta& meta,
+    const std::function<bool(const StateMeta& stored,
+                             const StateMeta& candidate)>& better) {
+  // shard_shift_ == 64 would be UB in the shift; single-shard stores use
+  // shard 0 directly.
+  const auto shard_index = static_cast<std::uint32_t>(
+      shards_.size() == 1 ? 0 : hash >> shard_shift_);
+  Shard& shard = shards_[shard_index];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+
+  if ((shard.count + 1) * 10 > shard.slots.size() * 7) grow(shard);
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t pos = hash & mask;
+  std::size_t probe = 1;
+  while (shard.slots[pos] != 0) {
+    const std::uint32_t entry = shard.slots[pos] - 1;
+    if (shard.hashes[entry] == hash &&
+        codec_->equal(words, shard.arena.data() + std::size_t{entry} * words_)) {
+      // Canonical-parent improvement among same-depth discoverers.
+      StateMeta& stored = shard.meta[entry];
+      if (stored.depth == meta.depth && better(stored, meta)) stored = meta;
+      return {{shard_index, entry}, false};
+    }
+    pos = (pos + 1) & mask;
+    ++probe;
+  }
+  shard.max_probe = std::max(shard.max_probe, probe);
+
+  const auto entry = static_cast<std::uint32_t>(shard.count);
+  shard.slots[pos] = entry + 1;
+  shard.hashes.push_back(hash);
+  shard.arena.insert(shard.arena.end(), words, words + words_);
+  shard.meta.push_back(meta);
+  ++shard.count;
+  return {{shard_index, entry}, true};
+}
+
+std::size_t VisitedStore::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.count;
+  return n;
+}
+
+StoreStats VisitedStore::stats() const {
+  StoreStats out;
+  out.shard_count = shards_.size();
+  for (const Shard& shard : shards_) {
+    out.max_shard_entries = std::max(out.max_shard_entries, shard.count);
+    out.max_probe_length = std::max(out.max_probe_length, shard.max_probe);
+  }
+  return out;
+}
+
+void VisitedStore::for_each(
+    const std::function<void(StateRef, const std::uint64_t*,
+                             const StateMeta&)>& fn) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    for (std::size_t e = 0; e < shard.count; ++e) {
+      fn({static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(e)},
+         shard.arena.data() + e * words_, shard.meta[e]);
+    }
+  }
+}
+
+}  // namespace camad::mc

@@ -1,0 +1,111 @@
+// Sharded open-addressing visited-state store for the parallel BFS.
+//
+// States hash-partition across shards; each shard owns a mutex, an
+// open-addressing slot table (linear probing over 32-bit entry indices),
+// a packed-word arena and a per-entry metadata record (canonical parent
+// pointer + discovering transition + BFS depth) for counterexample-trace
+// reconstruction.
+//
+// Concurrency contract (what makes the level-synchronized search safe):
+//   * insert_or_improve() takes the owning shard's lock; probing and the
+//     parent-improvement comparison read only that shard's arena/metadata
+//     plus caller-supplied immutable buffers (the level's frontier copy).
+//   * Cross-shard reads (`state()`, `meta()`, the end-of-run passes) are
+//     only performed between levels / after the search joins, when no
+//     writer is active — workers never dereference another shard's arena
+//     while it may grow.
+// Parent improvement keeps, among all same-depth discoverers of a state,
+// the one with the lexicographically least (parent words, transition id)
+// key, which makes every reconstructed trace independent of thread count
+// and scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "mc/encode.h"
+#include "petri/net.h"
+
+namespace camad::mc {
+
+/// Stable handle to a stored state: shard number + index in that shard.
+struct StateRef {
+  std::uint32_t shard = 0xffffffffU;
+  std::uint32_t index = 0xffffffffU;
+
+  [[nodiscard]] bool valid() const { return shard != 0xffffffffU; }
+  friend bool operator==(const StateRef&, const StateRef&) = default;
+};
+
+/// Per-state search metadata. `parent_pos` is the parent's position in
+/// the frontier buffer of its level — valid only while that level's
+/// frontier copy is alive; trace reconstruction uses `parent` instead.
+struct StateMeta {
+  StateRef parent;
+  petri::TransitionId via;
+  std::uint32_t depth = 0;
+  std::uint32_t parent_pos = 0xffffffffU;
+};
+
+struct StoreStats {
+  std::size_t shard_count = 0;
+  std::size_t max_shard_entries = 0;
+  std::size_t max_probe_length = 0;
+};
+
+class VisitedStore {
+ public:
+  /// `shard_count` is rounded up to a power of two.
+  VisitedStore(const StateCodec& codec, std::size_t shard_count);
+
+  /// Inserts the packed state if new; otherwise, when the existing entry
+  /// was discovered at the same depth, lets `better` decide whether the
+  /// candidate metadata canonically improves the stored one (both the
+  /// probe and the improvement run under the shard lock). Returns the
+  /// entry's handle and whether it was newly inserted.
+  std::pair<StateRef, bool> insert_or_improve(
+      const std::uint64_t* words, std::uint64_t hash, const StateMeta& meta,
+      const std::function<bool(const StateMeta& stored,
+                               const StateMeta& candidate)>& better);
+
+  /// Packed words of a stored state. Safe only while no insert can run
+  /// (between levels / after the search).
+  [[nodiscard]] const std::uint64_t* state(StateRef ref) const {
+    return shards_[ref.shard].arena.data() + std::size_t{ref.index} * words_;
+  }
+  [[nodiscard]] const StateMeta& meta(StateRef ref) const {
+    return shards_[ref.shard].meta[ref.index];
+  }
+
+  /// Total entries across shards. Exact only while no insert can run.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Invokes fn(ref, words, meta) for every stored entry (single-threaded,
+  /// after the search).
+  void for_each(const std::function<void(StateRef, const std::uint64_t*,
+                                         const StateMeta&)>& fn) const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::uint32_t> slots;  ///< entry index + 1; 0 = empty
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::uint64_t> arena;  ///< entries * words packed states
+    std::vector<StateMeta> meta;
+    std::size_t count = 0;
+    std::size_t max_probe = 0;
+  };
+
+  void grow(Shard& shard);
+
+  const StateCodec* codec_;
+  std::size_t words_;
+  std::uint32_t shard_shift_;  ///< top bits of the hash select the shard
+  std::vector<Shard> shards_;
+};
+
+}  // namespace camad::mc

@@ -75,39 +75,51 @@ ReachabilityResult explore(const Net& net, const ReachabilityOptions& options) {
   return explore_impl(net, options, [](const Marking&) {});
 }
 
+MarkingSet collect_markings(const Net& net,
+                            const ReachabilityOptions& options) {
+  MarkingSet out;
+  out.exploration = explore_impl(
+      net, options, [&out](const Marking& m) { out.markings.push_back(m); });
+  return out;
+}
+
+ConcurrencyRelation concurrent_places_bounded(
+    const Net& net, const ReachabilityOptions& options) {
+  const std::size_t n = net.place_count();
+  ConcurrencyRelation out;
+  out.concurrent.assign(n * n, false);
+  out.exploration = explore_impl(net, options, [&](const Marking& m) {
+    const std::vector<PlaceId> marked = m.marked_places();
+    for (std::size_t a = 0; a < marked.size(); ++a) {
+      for (std::size_t b = a + 1; b < marked.size(); ++b) {
+        out.concurrent[marked[a].index() * n + marked[b].index()] = true;
+        out.concurrent[marked[b].index() * n + marked[a].index()] = true;
+      }
+      // A place marked with >= 2 tokens is concurrent with itself.
+      if (m.tokens(marked[a]) >= 2) {
+        out.concurrent[marked[a].index() * n + marked[a].index()] = true;
+      }
+    }
+  });
+  return out;
+}
+
 std::vector<Marking> reachable_markings(const Net& net,
                                         const ReachabilityOptions& options) {
-  std::vector<Marking> out;
-  const ReachabilityResult result = explore_impl(
-      net, options, [&out](const Marking& m) { out.push_back(m); });
-  if (!result.complete) {
+  MarkingSet set = collect_markings(net, options);
+  if (!set.exploration.complete) {
     throw Error("reachable_markings: state space exceeds max_markings");
   }
-  return out;
+  return std::move(set.markings);
 }
 
 std::vector<bool> concurrent_places(const Net& net,
                                     const ReachabilityOptions& options) {
-  const std::size_t n = net.place_count();
-  std::vector<bool> concurrent(n * n, false);
-  const ReachabilityResult result =
-      explore_impl(net, options, [&](const Marking& m) {
-        const std::vector<PlaceId> marked = m.marked_places();
-        for (std::size_t a = 0; a < marked.size(); ++a) {
-          for (std::size_t b = a + 1; b < marked.size(); ++b) {
-            concurrent[marked[a].index() * n + marked[b].index()] = true;
-            concurrent[marked[b].index() * n + marked[a].index()] = true;
-          }
-          // A place marked with >= 2 tokens is concurrent with itself.
-          if (m.tokens(marked[a]) >= 2) {
-            concurrent[marked[a].index() * n + marked[a].index()] = true;
-          }
-        }
-      });
-  if (!result.complete) {
+  ConcurrencyRelation relation = concurrent_places_bounded(net, options);
+  if (!relation.exploration.complete) {
     throw Error("concurrent_places: state space exceeds max_markings");
   }
-  return concurrent;
+  return std::move(relation.concurrent);
 }
 
 }  // namespace camad::petri

@@ -46,14 +46,41 @@ struct ReachabilityResult {
 ReachabilityResult explore(const Net& net,
                            const ReachabilityOptions& options = {});
 
+/// Bounded marking collection: exploration status plus every *visited*
+/// marking. Never throws on a budget cutoff — check
+/// `exploration.complete` to tell a full enumeration from a prefix.
+struct MarkingSet {
+  ReachabilityResult exploration;
+  std::vector<Marking> markings;
+};
+MarkingSet collect_markings(const Net& net,
+                            const ReachabilityOptions& options = {});
+
+/// Bounded concurrency relation: `concurrent[i*|S|+j]` is true iff some
+/// visited marking marks both place i and place j (and `i*|S|+i` iff
+/// some visited marking puts >= 2 tokens on place i). When
+/// `exploration.complete` is false the relation is an under-approximation
+/// over the visited prefix — callers needing soundness for legality
+/// decisions must check completeness (or use the throwing wrapper below).
+struct ConcurrencyRelation {
+  ReachabilityResult exploration;
+  std::vector<bool> concurrent;
+};
+ConcurrencyRelation concurrent_places_bounded(
+    const Net& net, const ReachabilityOptions& options = {});
+
 /// All reachable markings (throws Error if exploration is incomplete).
+/// Prefer collect_markings when a cutoff is a reportable outcome rather
+/// than an error.
 std::vector<Marking> reachable_markings(
     const Net& net, const ReachabilityOptions& options = {});
 
 /// Place-concurrency relation from reachability: result[i*|S|+j] is true
 /// iff some reachable marking marks both place i and place j (i != j).
 /// This is the *semantic* refinement of the paper's structural ∥ relation;
-/// see petri/order.h for the structural one.
+/// see petri/order.h for the structural one. Throws Error if exploration
+/// is incomplete; prefer concurrent_places_bounded where a cutoff must
+/// degrade gracefully.
 std::vector<bool> concurrent_places(const Net& net,
                                     const ReachabilityOptions& options = {});
 

@@ -10,7 +10,8 @@ namespace camad::semantics {
 namespace {
 
 constexpr std::array<std::string_view, kAnalysisCount> kNames = {
-    "reachability", "concurrency", "order", "dependence", "liveness"};
+    "reachability", "concurrency",       "order",
+    "dependence",   "liveness",          "exact-concurrency"};
 
 std::uint32_t bit(Analysis analysis) {
   return std::uint32_t{1} << static_cast<std::uint32_t>(analysis);
@@ -177,6 +178,27 @@ const petri::OrderRelations& AnalysisCache::order() const {
   return *order_;
 }
 
+const mc::McResult& AnalysisCache::model_check() const {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  const auto i = index(Analysis::kExactConcurrency);
+  if (exact_ == nullptr) {
+    ++stats_.misses[i];
+    const obs::ObsSpan span("analysis.exact-concurrency");
+    mc::McOptions opt;
+    opt.max_states = reach_.max_markings;
+    opt.token_bound = reach_.token_bound;
+    exact_ = std::make_shared<const mc::McResult>(
+        mc::model_check(*system_, opt));
+  } else {
+    ++stats_.hits[i];
+  }
+  return *exact_;
+}
+
+const std::vector<bool>& AnalysisCache::exact_concurrency() const {
+  return model_check().concurrency;
+}
+
 const DependenceRelation& AnalysisCache::dependence(
     const DependenceOptions& options) const {
   const std::lock_guard<std::mutex> lock(*mu_);
@@ -207,6 +229,10 @@ AnalysisCache AnalysisCache::successor(
     carry(Analysis::kReachability, reachability_, out.reachability_);
     carry(Analysis::kConcurrency, concurrency_, out.concurrency_);
     carry(Analysis::kOrder, order_, out.order_);
+    // Unlike the pure control-net analyses above, the model check also
+    // reads the data path (guard classification), so control_net() never
+    // declares it; only all() — used for identical-copy rebinds — does.
+    carry(Analysis::kExactConcurrency, exact_, out.exact_);
   }
   if (preserved.preserved(Analysis::kDependence) && !dependence_.empty()) {
     out.dependence_ = dependence_;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "dcf/system.h"
+#include "mc/checker.h"
 #include "obs/trace.h"
 #include "petri/order.h"
 #include "petri/reachability.h"
@@ -48,8 +49,9 @@ enum class Analysis : std::uint8_t {
   kOrder,             ///< petri::OrderRelations (structural F⁺)
   kDependence,        ///< DependenceRelation, keyed by clause options
   kLiveness,          ///< transform-layer register liveness (slot)
+  kExactConcurrency,  ///< mc::model_check guard-aware state space
 };
-inline constexpr std::size_t kAnalysisCount = 5;
+inline constexpr std::size_t kAnalysisCount = 6;
 
 std::string_view analysis_name(Analysis analysis);
 
@@ -123,6 +125,14 @@ class AnalysisCache {
   /// distinct selection).
   const DependenceRelation& dependence(
       const DependenceOptions& options = {}) const;
+  /// Guard-aware model-check of the control net (mc::model_check with
+  /// max_states / token_bound mirroring this cache's ReachabilityOptions).
+  /// Never throws on a budget cutoff — check `.complete`.
+  const mc::McResult& model_check() const;
+  /// The exact (guard-aware reachable) place-concurrency relation, a
+  /// subset of concurrency(). Partial when model_check().complete is
+  /// false — callers making legality decisions must check completeness.
+  const std::vector<bool>& exact_concurrency() const;
 
   /// Extension slot for analyses defined in higher layers (transform's
   /// liveness): computes T at most once under `kind`, via `compute`,
@@ -171,6 +181,7 @@ class AnalysisCache {
   mutable std::unique_ptr<std::mutex> mu_;
   mutable std::shared_ptr<const petri::ReachabilityResult> reachability_;
   mutable std::shared_ptr<const std::vector<bool>> concurrency_;
+  mutable std::shared_ptr<const mc::McResult> exact_;
   mutable std::shared_ptr<const petri::OrderRelations> order_;
   mutable std::map<std::uint8_t,
                    std::shared_ptr<const DependenceRelation>>

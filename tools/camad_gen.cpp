@@ -5,6 +5,10 @@
 //   camad-gen soak   MINUTES [--start SEED] [--out-dir DIR]
 //   camad-gen corpus FILE [--out-dir DIR]
 //
+// `--mc-crosscheck` (seed / range / soak / corpus) adds the model-checker
+// cross-check stage to the battery: unguarded mc vs petri explorer
+// bit-compare, guard-aware refinement containment, witness replay.
+//
 // `seed` reruns the full oracle battery (checker, engine differential,
 // transformation chains, fold / io round-trips) on one seed — the
 // reproduction entry point docs/TESTING.md points at. `range` sweeps a
@@ -44,7 +48,8 @@ constexpr const char* kUsage =
     "    --metrics[=F]   write run/failure counters + per-seed duration\n"
     "                    histogram as JSON (default metrics.json)\n"
     "  corpus FILE       replay a seed-corpus file\n"
-    "  --out-dir DIR     write failing artifacts to DIR\n";
+    "  --out-dir DIR     write failing artifacts to DIR\n"
+    "  --mc-crosscheck   add the model-checker cross-check stage\n";
 
 struct Args {
   std::string command;
@@ -126,6 +131,7 @@ int cmd_seed(const Args& args) {
   const std::uint64_t seed = std::stoull(args.positional[0]);
   gen::OracleOptions options;
   options.shrink_failures = !args.flag("--no-shrink");
+  options.mc_crosscheck = args.flag("--mc-crosscheck");
 
   if (args.flag("--print")) {
     for (const gen::OracleLevel level : levels_from(args)) {
@@ -161,8 +167,10 @@ int cmd_range(const Args& args) {
   }
   const std::uint64_t first = std::stoull(args.positional[0]);
   const std::size_t count = std::stoull(args.positional[1]);
+  gen::OracleOptions options;
+  options.mc_crosscheck = args.flag("--mc-crosscheck");
   const std::vector<gen::OracleOutcome> failures =
-      gen::run_seed_range(first, count);
+      gen::run_seed_range(first, count, options);
   for (const gen::OracleOutcome& out : failures) {
     report_failure(out, args.option("--out-dir"));
   }
@@ -183,6 +191,7 @@ int cmd_soak(const Args& args) {
                             std::chrono::duration<double, std::ratio<60>>(
                                 minutes));
   gen::OracleOptions options;
+  options.mc_crosscheck = args.flag("--mc-crosscheck");
   std::string metrics_path;
   if (const auto path = args.option("--metrics")) {
     metrics_path = *path;
@@ -230,9 +239,12 @@ int cmd_corpus(const Args& args) {
   if (args.positional.size() != 1) throw Error("corpus: expected FILE");
   const std::vector<gen::CorpusEntry> entries =
       gen::load_corpus_file(args.positional[0]);
+  gen::OracleOptions options;
+  options.mc_crosscheck = args.flag("--mc-crosscheck");
   std::size_t failed = 0;
   for (const gen::CorpusEntry& entry : entries) {
-    const gen::OracleOutcome out = gen::run_seed(entry.seed, entry.level);
+    const gen::OracleOutcome out =
+        gen::run_seed(entry.seed, entry.level, options);
     std::cout << out.to_string();
     if (!entry.note.empty()) std::cout << "  (" << entry.note << ")";
     std::cout << '\n';

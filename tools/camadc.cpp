@@ -8,6 +8,8 @@
 //                 [--netlist PATH] [--dot PATH] [--no-verify]
 //   camadc sim    design.bdl [--in name=v1,v2,...]... [--vcd PATH]
 //                 [--max-cycles N] [--trace] [--seed S]
+//   camadc verify design.bdl [--threads N] [--max-states M]
+//                 [--token-bound B] [--witness[=FILE]] [--no-guards]
 //   camadc report design.bdl [--trips T]
 //
 // `simulate` and `optimize` are aliases for `sim` and `synth`.
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "dcf/check.h"
+#include "mc/checker.h"
 #include "petri/classify.h"
 #include "synth/schedule.h"
 #include "dcf/export.h"
@@ -101,6 +104,8 @@ constexpr const char* kUsage =
     "--no-verify\n"
     "  sim:    --in name=v1,v2,... --vcd PATH --max-cycles N --trace "
     "--seed S\n"
+    "  verify: --threads N --max-states M --token-bound B --witness[=FILE] "
+    "--no-guards\n"
     "  report: --trips T\n"
     "  telemetry (transform/synth/sim): --trace[=FILE] "
     "--trace-deterministic --metrics[=FILE]\n"
@@ -113,18 +118,19 @@ std::optional<Args> parse_args(int argc, char** argv) {
   args.file = argv[2];
   // Options that take a value; everything else with -- is a flag.
   const std::vector<std::string> value_options = {
-      "--lambda", "--max-steps", "--netlist", "--dot",    "--in",
-      "--vcd",    "--max-cycles", "--seed",   "--trips", "--out",
-      "--passes"};
+      "--lambda",  "--max-steps",  "--netlist",     "--dot",   "--in",
+      "--vcd",     "--max-cycles", "--seed",        "--trips", "--out",
+      "--passes",  "--threads",    "--max-states",  "--token-bound"};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!starts_with(arg, "--")) return std::nullopt;
     // Inline form --key=value.
     if (const auto eq = arg.find('='); eq != std::string::npos) {
       const std::string key = arg.substr(0, eq);
-      // --trace/--metrics are flags when bare but accept an inline
-      // =FILE to override the default output path.
-      const bool inline_only = key == "--trace" || key == "--metrics";
+      // --trace/--metrics/--witness are flags when bare but accept an
+      // inline =FILE to override the default output path.
+      const bool inline_only = key == "--trace" || key == "--metrics" ||
+                               key == "--witness";
       if (!inline_only &&
           std::find(value_options.begin(), value_options.end(), key) ==
               value_options.end()) {
@@ -439,6 +445,132 @@ int cmd_sim(const Args& args) {
   return result.violations.empty() ? 0 : 1;
 }
 
+/// Renders "s1(1) s2(2)" for a witness marking.
+std::string marking_to_string(const petri::Net& net,
+                              const petri::Marking& marking) {
+  std::string out;
+  for (petri::PlaceId p : marking.marked_places()) {
+    if (!out.empty()) out += ' ';
+    out += net.name(p) + "(" + std::to_string(marking.tokens(p)) + ")";
+  }
+  return out;
+}
+
+int cmd_verify(const Args& args) {
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
+  const dcf::System system = load_any(args.file);
+  const petri::Net& net = system.control().net();
+
+  mc::McOptions options;
+  if (const auto t = args.option("--threads")) {
+    options.threads = std::stoul(*t);
+  }
+  if (const auto m = args.option("--max-states")) {
+    options.max_states = std::stoul(*m);
+  }
+  if (const auto b = args.option("--token-bound")) {
+    options.token_bound = static_cast<std::uint32_t>(std::stoul(*b));
+  }
+  options.use_guards = !args.flag("--no-guards");
+
+  const mc::McResult result = mc::model_check(system, options);
+
+  std::cout << system.name() << ": " << result.state_count << " state(s), "
+            << result.marking_count << " marking(s), depth " << result.depth
+            << ", " << result.tracked_cells << " guard cell(s)";
+  if (!result.complete) {
+    std::cout << " [incomplete: " << result.cutoff_reason << "]";
+  }
+  std::cout << '\n';
+  std::cout << "  safe: " << (result.safe ? "yes" : "NO")
+            << "  bounded: " << (result.bounded ? "yes" : "NO")
+            << "  deadlock: " << (result.deadlock ? "YES" : "no")
+            << "  terminates: " << (result.can_terminate ? "yes" : "no")
+            << '\n';
+  if (!result.dead_transitions.empty()) {
+    std::cout << "  dead transitions:";
+    for (petri::TransitionId t : result.dead_transitions) {
+      std::cout << ' ' << net.name(t);
+    }
+    std::cout << '\n';
+  }
+  std::size_t unguarded_conflicts = 0;
+  for (const mc::McConflict& c : result.conflicts) {
+    std::cout << "  " << (c.unguarded ? "conflict" : "conflict-warning")
+              << ": " << net.name(c.a) << " vs " << net.name(c.b)
+              << " at place " << net.name(c.place) << " in marking "
+              << marking_to_string(net, c.marking) << '\n';
+    if (c.unguarded) ++unguarded_conflicts;
+  }
+  if (result.conflicts_truncated > 0) {
+    std::cout << "  (+" << result.conflicts_truncated
+              << " conflict triple(s) beyond reporting cap)\n";
+  }
+  std::cout << "  " << result.stats.threads << " thread(s), "
+            << result.stats.shard_count << " shard(s), max frontier "
+            << result.stats.max_frontier << ", "
+            << format_double(result.stats.states_per_second, 0)
+            << " states/s\n";
+
+  // Witness handling: print the trace, replay it through petri::fire and
+  // confirm it reaches the claimed marking (the CLI test greps for
+  // "witness replays").
+  const auto show_witness = [&](const char* what,
+                                const petri::Marking& marking,
+                                const std::vector<petri::TransitionId>&
+                                    trace) {
+    std::cout << what << " witness: " << marking_to_string(net, marking)
+              << '\n';
+    std::string steps;
+    for (petri::TransitionId t : trace) {
+      if (!steps.empty()) steps += ' ';
+      steps += net.name(t);
+    }
+    std::cout << what << " trace (" << trace.size() << " step(s)): " << steps
+              << '\n';
+    const std::optional<petri::Marking> replayed =
+        mc::replay_trace(net, trace);
+    if (replayed.has_value() && *replayed == marking) {
+      std::cout << what << " witness replays to the claimed marking\n";
+    } else {
+      std::cout << what << " witness FAILED to replay\n";
+    }
+    if (args.flag("--witness") || args.option("--witness").has_value()) {
+      const std::string path =
+          args.option("--witness").value_or("witness.txt");
+      std::ostringstream os;
+      os << what << " " << marking_to_string(net, marking) << '\n'
+         << steps << '\n';
+      write_file(path, os.str());
+      std::cout << "witness written to " << path << '\n';
+    }
+  };
+  if (result.unsafe_witness.has_value()) {
+    show_witness("unsafe", *result.unsafe_witness, result.unsafe_trace);
+  }
+  if (result.deadlock_witness.has_value()) {
+    show_witness("deadlock", *result.deadlock_witness,
+                 result.deadlock_trace);
+  }
+
+  if (telemetry.metrics_enabled()) {
+    telemetry.metrics.set("mc.states",
+                          static_cast<double>(result.state_count));
+    telemetry.metrics.set("mc.depth", static_cast<double>(result.depth));
+    telemetry.metrics.set("mc.states_per_second",
+                          result.stats.states_per_second);
+    telemetry.metrics.set("mc.conflicts",
+                          static_cast<double>(result.conflicts.size()));
+  }
+  telemetry.finish();
+
+  const bool violation = !result.complete || !result.safe ||
+                         !result.bounded || result.deadlock ||
+                         unguarded_conflicts > 0;
+  std::cout << (violation ? "verification FAILED" : "verified") << '\n';
+  return violation ? 1 : 0;
+}
+
 int cmd_report(const Args& args) {
   const dcf::System system = load_any(args.file);
   const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
@@ -503,6 +635,7 @@ int main(int argc, char** argv) {
     if (args->command == "sim" || args->command == "simulate") {
       return cmd_sim(*args);
     }
+    if (args->command == "verify") return cmd_verify(*args);
     if (args->command == "report") return cmd_report(*args);
     std::cerr << kUsage;
     return 2;
