@@ -1,31 +1,40 @@
 // E6 — simulator throughput: the executor must be fast enough to serve
 // as the equivalence oracle inside the optimizer's inner loop.
 //
-// Reports cycles/second on the named designs and on random compiled
-// programs of growing size, for both engines:
+// Reports cycles/second on the named designs (synth::all_designs() plus
+// the bench-only change-sparse "guarded_branch") for every engine:
 //   * BM_simulate/<design>           — compiled-plan engine, persistent
 //     Simulator (steady-state: plans compiled once, then replayed);
+//   * BM_simulate_sparse/<design>    — change-propagation wavefront
+//     engine (kSparse), persistent Simulator;
 //   * BM_simulate_reference/<design> — the naive per-cycle baseline;
 //   * BM_simulate_cold/<design>      — compiled engine with a fresh
 //     Simulator per run (plan compilation on the critical path);
-//   * BM_simulate_batch/<design>     — simulate_batch over 16 seeds.
+//   * BM_simulate_batch/<design>     — simulate_batch over 16 seeds;
+//   * BM_simulate_lanes/<design>     — the same 16 seeds through the
+//     SoA lane engine, 8 lanes per block, single-threaded.
 //
-// Expected shape: the compiled engine's steady-state throughput exceeds
-// the reference baseline by well over 2x; cold-start sits between the
-// two (plan compilation is paid once per distinct configuration).
+// Expected shape: compiled beats reference by well over 2x everywhere;
+// sparse beats compiled on change-sparse designs (stable cones, bursty
+// inputs) and must stay within 10% of compiled on the dense ones — the
+// JSON emitter *fails* (nonzero exit, so CI fails) if a dense design
+// regresses beyond that.
 //
 // Pass --json[=PATH] (default BENCH_sim.json) to additionally emit a
-// machine-readable cycles/s record per design so the perf trajectory is
-// tracked across PRs (see docs/PERF.md).
+// machine-readable record per design (cycles/s per engine, speedups,
+// sparse activity factor, lane-batch throughput) so the perf trajectory
+// is tracked across PRs (see docs/PERF.md).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "json_out.h"
 #include "sim/batch.h"
+#include "sim/lanes.h"
 #include "sim/simulator.h"
 #include "synth/compile.h"
 #include "synth/designs.h"
@@ -37,30 +46,35 @@ using namespace camad;
 
 namespace {
 
-void print_table() {
-  Table table({"design", "states", "arcs", "cycles/run"});
-  for (const synth::NamedDesign& d : synth::all_designs()) {
-    const dcf::System sys = synth::compile_source(std::string(d.source));
-    sim::Environment env = bench::fixed_environment(sys, d.name);
+void print_table(const std::vector<bench::BenchDesign>& designs) {
+  Table table({"design", "states", "arcs", "cycles/run", "activity"});
+  for (const bench::BenchDesign& d : designs) {
+    sim::Environment env = bench::fixed_environment(d.system, d.name);
     sim::SimOptions options;
     options.record_cycles = false;
-    const sim::SimResult result = sim::simulate(sys, env, options);
+    options.engine = sim::SimEngine::kSparse;
+    sim::Simulator simulator(d.system);
+    simulator.run(env, options);  // warm: snapshots populated
+    env.rewind();
+    const sim::SimResult result = simulator.run(env, options);
     table.add_row({d.name,
-                   std::to_string(sys.control().net().place_count()),
-                   std::to_string(sys.datapath().arc_count()),
-                   std::to_string(result.cycles)});
+                   std::to_string(d.system.control().net().place_count()),
+                   std::to_string(d.system.datapath().arc_count()),
+                   std::to_string(result.cycles),
+                   format_double(result.stats.activity_factor(), 2)});
   }
-  std::cout << "E6: simulated designs (fixed environments)\n"
+  std::cout << "E6: simulated designs (fixed environments; activity = "
+               "steady-state sparse-engine eval fraction)\n"
             << table.to_string() << '\n';
 }
 
-void BM_simulate_design(benchmark::State& state, const std::string& name,
-                        const std::string& source) {
-  const dcf::System sys = synth::compile_source(source);
-  sim::Simulator simulator(sys);
-  sim::Environment env = bench::fixed_environment(sys, name);
+void BM_simulate_engine(benchmark::State& state,
+                        const bench::BenchDesign* d, sim::SimEngine engine) {
+  sim::Simulator simulator(d->system);
+  sim::Environment env = bench::fixed_environment(d->system, d->name);
   sim::SimOptions options;
   options.record_cycles = false;
+  options.engine = engine;
   std::uint64_t cycles = 0;
   for (auto _ : state) {
     env.rewind();
@@ -70,46 +84,54 @@ void BM_simulate_design(benchmark::State& state, const std::string& name,
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 
-void BM_simulate_reference(benchmark::State& state, const std::string& name,
-                           const std::string& source) {
-  const dcf::System sys = synth::compile_source(source);
-  sim::Environment env = bench::fixed_environment(sys, name);
+void BM_simulate_reference(benchmark::State& state,
+                           const bench::BenchDesign* d) {
+  sim::Environment env = bench::fixed_environment(d->system, d->name);
   sim::SimOptions options;
   options.record_cycles = false;
   options.engine = sim::SimEngine::kReference;
   std::uint64_t cycles = 0;
   for (auto _ : state) {
     env.rewind();
-    cycles += sim::simulate(sys, env, options).cycles;
+    cycles += sim::simulate(d->system, env, options).cycles;
   }
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 
-void BM_simulate_cold(benchmark::State& state, const std::string& name,
-                      const std::string& source) {
-  const dcf::System sys = synth::compile_source(source);
-  sim::Environment env = bench::fixed_environment(sys, name);
+void BM_simulate_cold(benchmark::State& state, const bench::BenchDesign* d) {
+  sim::Environment env = bench::fixed_environment(d->system, d->name);
   sim::SimOptions options;
   options.record_cycles = false;
   std::uint64_t cycles = 0;
   for (auto _ : state) {
     env.rewind();
-    cycles += sim::simulate(sys, env, options).cycles;  // fresh engine
+    cycles += sim::simulate(d->system, env, options).cycles;  // fresh engine
   }
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 
-void BM_simulate_batch(benchmark::State& state, const std::string& /*name*/,
-                       const std::string& source) {
-  const dcf::System sys = synth::compile_source(source);
+void BM_simulate_batch(benchmark::State& state, const bench::BenchDesign* d) {
   sim::SimOptions options;
   options.record_cycles = false;
   std::uint64_t cycles = 0;
   for (auto _ : state) {
     const auto results =
-        sim::simulate_batch_seeds(sys, 1, 16, 64, options, 0, 1, 20);
+        sim::simulate_batch_seeds(d->system, 1, 16, 64, options, 0, 1, 20);
+    for (const sim::SimResult& r : results) cycles += r.cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_simulate_lanes(benchmark::State& state, const bench::BenchDesign* d) {
+  sim::SimOptions options;
+  options.record_cycles = false;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto results = sim::simulate_batch_seeds_lanes(
+        d->system, 1, 16, 64, /*lanes=*/8, options, /*threads=*/1, 1, 20);
     for (const sim::SimResult& r : results) cycles += r.cycles;
   }
   state.counters["cycles/s"] = benchmark::Counter(
@@ -151,7 +173,7 @@ double measure_cycles_per_second(const dcf::System& sys,
   options.record_cycles = false;
   options.engine = engine;
   sim::Simulator simulator(sys);
-  // Warm up (compile plans / memoize orders).
+  // Warm up (compile plans / memoize orders / populate snapshots).
   env.rewind();
   simulator.run(env, options);
 
@@ -168,28 +190,107 @@ double measure_cycles_per_second(const dcf::System& sys,
   return static_cast<double>(cycles) / elapsed();
 }
 
-/// Emits BENCH_sim.json: per-design steady-state cycles/s for the
-/// compiled engine and the reference baseline, plus the speedup.
-/// Returns false if the file cannot be written.
-bool emit_json(const std::string& path) {
+/// Steady-state sparse-run stats (one warmed run), for the activity
+/// factor the JSON records per design.
+sim::SimStats steady_sparse_stats(const dcf::System& sys,
+                                  const std::string& name) {
+  sim::Environment env = bench::fixed_environment(sys, name);
+  sim::SimOptions options;
+  options.record_cycles = false;
+  options.engine = sim::SimEngine::kSparse;
+  sim::Simulator simulator(sys);
+  simulator.run(env, options);
+  env.rewind();
+  return simulator.run(env, options).stats;
+}
+
+/// Lane-batch throughput: total cycles/second of a 16-seed sweep through
+/// simulate_batch_seeds_lanes (8 lanes per block) or, with lanes == 1,
+/// the per-run simulate_batch baseline. Single-threaded so the ratio
+/// isolates the SoA-lockstep effect from parallelism.
+double measure_batch_cycles_per_second(const dcf::System& sys,
+                                       std::size_t lanes) {
+  sim::SimOptions options;
+  options.record_cycles = false;
+  auto sweep = [&] {
+    return lanes > 1
+               ? sim::simulate_batch_seeds_lanes(sys, 1, 16, 64, lanes,
+                                                 options, 1, 1, 20)
+               : sim::simulate_batch_seeds(sys, 1, 16, 64, options, 1, 1, 20);
+  };
+  sweep();  // warm-up (allocator, page faults)
+
+  using clock = std::chrono::steady_clock;
+  std::uint64_t cycles = 0;
+  const auto start = clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  do {
+    for (const sim::SimResult& r : sweep()) cycles += r.cycles;
+  } while (elapsed() < 0.2);
+  return static_cast<double>(cycles) / elapsed();
+}
+
+/// Designs where most of the schedule genuinely changes every cycle;
+/// the sparse engine must stay within 10% of compiled on these (the
+/// wavefront bookkeeping is its only overhead). The change-sparse
+/// designs (traffic, guarded_branch) are where it must win instead.
+bool is_dense_design(const std::string& name) {
+  return name != "traffic" && name != "guarded_branch";
+}
+
+/// Emits BENCH_sim.json: per-design steady-state cycles/s for every
+/// engine, speedups, sparse activity factor and lane-batch throughput.
+/// Returns false if the file cannot be written OR if the sparse engine
+/// regresses a dense design by more than 10% vs compiled (CI runs the
+/// bench with --json and fails on nonzero exit).
+bool emit_json(const std::string& path,
+               const std::vector<bench::BenchDesign>& designs) {
   bench::BenchJson json(path, "sim", "cycles_per_second");
-  for (const synth::NamedDesign& d : synth::all_designs()) {
-    const dcf::System sys = synth::compile_source(std::string(d.source));
+  bool dense_regression = false;
+  for (const bench::BenchDesign& d : designs) {
     const double compiled =
-        measure_cycles_per_second(sys, d.name, sim::SimEngine::kCompiled);
-    const double reference =
-        measure_cycles_per_second(sys, d.name, sim::SimEngine::kReference);
+        measure_cycles_per_second(d.system, d.name, sim::SimEngine::kCompiled);
+    const double reference = measure_cycles_per_second(
+        d.system, d.name, sim::SimEngine::kReference);
+    const double sparse =
+        measure_cycles_per_second(d.system, d.name, sim::SimEngine::kSparse);
+    const sim::SimStats sparse_stats = steady_sparse_stats(d.system, d.name);
+    const double batch = measure_batch_cycles_per_second(d.system, 1);
+    const double laned = measure_batch_cycles_per_second(d.system, 8);
     json.begin_design(d.name)
         .field("cycles_per_second", static_cast<std::uint64_t>(compiled))
         .field("reference_cycles_per_second",
                static_cast<std::uint64_t>(reference))
+        .field("sparse_cycles_per_second",
+               static_cast<std::uint64_t>(sparse))
         .field("speedup", bench::rounded(compiled / reference, 2))
+        .field("sparse_speedup_vs_compiled",
+               bench::rounded(sparse / compiled, 2))
+        .field("activity_factor",
+               bench::rounded(sparse_stats.activity_factor(), 4))
+        .field("batch_cycles_per_second", static_cast<std::uint64_t>(batch))
+        .field("lane_batch_cycles_per_second",
+               static_cast<std::uint64_t>(laned))
+        .field("lane_speedup", bench::rounded(laned / batch, 2))
         .end_design();
     std::cout << "BENCH_sim " << d.name << ": "
               << static_cast<std::uint64_t>(compiled) << " cycles/s ("
-              << format_double(compiled / reference, 2) << "x reference)\n";
+              << format_double(compiled / reference, 2) << "x reference); "
+              << "sparse " << static_cast<std::uint64_t>(sparse) << " ("
+              << format_double(sparse / compiled, 2) << "x compiled, activity "
+              << format_double(sparse_stats.activity_factor(), 2) << "); "
+              << "lanes@8 " << static_cast<std::uint64_t>(laned) << " ("
+              << format_double(laned / batch, 2) << "x batch)\n";
+    if (is_dense_design(d.name) && sparse < 0.9 * compiled) {
+      std::cerr << "BENCH_sim REGRESSION: sparse engine at "
+                << format_double(sparse / compiled, 2) << "x compiled on "
+                << "dense design '" << d.name << "' (floor: 0.9x)\n";
+      dense_regression = true;
+    }
   }
-  return json.finish();
+  return json.finish() && !dense_regression;
 }
 
 }  // namespace
@@ -197,24 +298,27 @@ bool emit_json(const std::string& path) {
 int main(int argc, char** argv) {
   const std::string json_path =
       bench::extract_json_path(argc, argv, "BENCH_sim.json");
+  const std::vector<bench::BenchDesign> designs = bench::bench_designs();
 
-  print_table();
+  print_table(designs);
   if (!json_path.empty()) {
-    return emit_json(json_path) ? 0 : 1;
+    return emit_json(json_path, designs) ? 0 : 1;
   }
-  for (const synth::NamedDesign& d : synth::all_designs()) {
+  for (const bench::BenchDesign& d : designs) {
     benchmark::RegisterBenchmark(("BM_simulate/" + d.name).c_str(),
-                                 BM_simulate_design, d.name,
-                                 std::string(d.source));
-    benchmark::RegisterBenchmark(
-        ("BM_simulate_reference/" + d.name).c_str(), BM_simulate_reference,
-        d.name, std::string(d.source));
+                                 BM_simulate_engine, &d,
+                                 sim::SimEngine::kCompiled);
+    benchmark::RegisterBenchmark(("BM_simulate_sparse/" + d.name).c_str(),
+                                 BM_simulate_engine, &d,
+                                 sim::SimEngine::kSparse);
+    benchmark::RegisterBenchmark(("BM_simulate_reference/" + d.name).c_str(),
+                                 BM_simulate_reference, &d);
     benchmark::RegisterBenchmark(("BM_simulate_cold/" + d.name).c_str(),
-                                 BM_simulate_cold, d.name,
-                                 std::string(d.source));
+                                 BM_simulate_cold, &d);
     benchmark::RegisterBenchmark(("BM_simulate_batch/" + d.name).c_str(),
-                                 BM_simulate_batch, d.name,
-                                 std::string(d.source));
+                                 BM_simulate_batch, &d);
+    benchmark::RegisterBenchmark(("BM_simulate_lanes/" + d.name).c_str(),
+                                 BM_simulate_lanes, &d);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -2,7 +2,53 @@
 
 #include <sstream>
 
+#include "synth/compile.h"
+#include "synth/designs.h"
+
 namespace camad::bench {
+
+namespace {
+
+// Bench-only design: a guarded loop whose expensive branch reads only
+// the loop-invariant input `s`, so its (large, ~480-op) cone is
+// byte-identical on every iteration after the first — only the trip
+// counter and the accumulator actually change. This is the change-sparse
+// workload shape the kSparse engine exists for; the expression is
+// generated wide enough that evaluating it dominates the compiled
+// engine's per-iteration cost.
+std::string guarded_branch_source() {
+  std::ostringstream os;
+  os << "design guarded_branch {\n"
+        "  in x;\n  out y;\n  var acc, i, s, w;\n  begin\n"
+        "    acc := 0;\n    i := 48;\n    s := x;\n"
+        "    while i > 0 {\n"
+        "      if s > 10 {\n"
+        "        w := ";
+  for (int k = 0; k < 160; ++k) {
+    if (k != 0) os << " + ";
+    os << "(s + " << 2 * k + 1 << ") * (s + " << 2 * k + 2 << ")";
+  }
+  os << ";\n"
+        "      } else {\n"
+        "        w := s + 7;\n"
+        "      }\n"
+        "      acc := acc + w;\n      y := acc;\n      i := i - 1;\n"
+        "    }\n  end\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<BenchDesign> bench_designs() {
+  std::vector<BenchDesign> out;
+  for (const synth::NamedDesign& d : synth::all_designs()) {
+    out.push_back(
+        {std::string(d.name), synth::compile_source(std::string(d.source))});
+  }
+  out.push_back(
+      {"guarded_branch", synth::compile_source(guarded_branch_source())});
+  return out;
+}
 
 sim::Environment fixed_environment(const dcf::System& system,
                                    const std::string& design_name) {
@@ -26,9 +72,14 @@ sim::Environment fixed_environment(const dcf::System& system,
     for (int i = 0; i < 8; ++i) samples.push_back(10 + 3 * i);
     stream("sample", samples);
   } else if (design_name == "traffic") {
+    // Bursty sensor: long constant runs (a queue of cars, then an empty
+    // road), so consecutive polls usually see the same value — the
+    // change-sparse shape the kSparse engine targets.
     std::vector<std::int64_t> sensor;
-    for (int i = 0; i < 12; ++i) sensor.push_back(i % 3 == 0 ? 80 : 10);
+    for (int i = 0; i < 12; ++i) sensor.push_back(i < 6 ? 80 : 10);
     stream("sensor", sensor);
+  } else if (design_name == "guarded_branch") {
+    stream("x", {42});  // take the expensive branch; its cone stays stable
   } else if (design_name == "ewf") {
     stream("s_in", {100});
     stream("c1", {3});

@@ -27,6 +27,18 @@ namespace camad::bench {
 sim::Environment fixed_environment(const dcf::System& system,
                                    const std::string& design_name);
 
+/// A named, already-compiled benchmark design.
+struct BenchDesign {
+  std::string name;
+  dcf::System system;
+};
+
+/// The simulator benchmark corpus: every synth::all_designs() entry plus
+/// bench-only designs that stress specific engine paths (currently
+/// "guarded_branch", a guarded loop whose untaken-branch cone is large
+/// but temporally stable — the sparse engine's target shape).
+std::vector<BenchDesign> bench_designs();
+
 struct RandomProgramOptions {
   std::size_t straight_line_ops = 10;  ///< assignments in the main block
   std::size_t variables = 4;

@@ -25,6 +25,24 @@ void publish_sim_stats(MetricsRegistry& registry, const sim::SimStats& stats,
   registry.add(base + ".misses", stats.plan_cache_misses);
   registry.add(base + ".evictions", stats.plan_cache_evictions);
   registry.set(base + ".size", static_cast<double>(stats.plan_cache_size));
+  if (stats.steps_evaluated + stats.steps_skipped > 0) {
+    const std::string steps = joined(prefix, "steps");
+    registry.add(steps + ".evaluated", stats.steps_evaluated);
+    registry.add(steps + ".skipped", stats.steps_skipped);
+    registry.set(joined(prefix, "activity_factor"), stats.activity_factor());
+    // The engine pre-buckets wavefront sizes (bucket 0 = empty, bucket b
+    // = width-b sizes, i.e. [2^(b-1), 2^b)); export the counts as-is
+    // rather than replaying millions of per-cycle samples.
+    const std::string wavefront = joined(prefix, "wavefront");
+    for (std::size_t b = 0; b < sim::SimStats::kWavefrontBuckets; ++b) {
+      if (stats.wavefront_hist[b] == 0) continue;
+      registry.add(wavefront + ".bucket_" + std::to_string(b),
+                   stats.wavefront_hist[b]);
+    }
+  }
+  if (stats.lanes > 0) {
+    registry.set(joined(prefix, "lanes"), static_cast<double>(stats.lanes));
+  }
 }
 
 void publish_analysis_stats(MetricsRegistry& registry,

@@ -15,7 +15,11 @@
 namespace camad::obs {
 
 /// <prefix>.plan_cache.{hits,misses,evictions} counters and a
-/// <prefix>.plan_cache.size gauge.
+/// <prefix>.plan_cache.size gauge. Sparse-engine runs additionally get
+/// <prefix>.steps.{evaluated,skipped} counters, an
+/// <prefix>.activity_factor gauge and per-bucket
+/// <prefix>.wavefront.bucket_<b> counters; lane runs get a
+/// <prefix>.lanes gauge.
 void publish_sim_stats(MetricsRegistry& registry, const sim::SimStats& stats,
                        std::string_view prefix = "sim");
 

@@ -1,0 +1,80 @@
+// Shared internals of the plan-based engines (kCompiled, kSparse).
+//
+// The two engines share one SimulatorState — plan cache, static
+// transition tables, cycle-loop scratch — so a persistent Simulator can
+// switch engines between runs without recompiling plans, and the sparse
+// engine's per-plan value snapshots live next to the schedules they
+// memoize. Not part of the public API: only simulator.cpp and sparse.cpp
+// include this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcf/system.h"
+#include "petri/marking.h"
+#include "sim/environment.h"
+#include "sim/plan.h"
+#include "sim/simulator.h"
+#include "util/bitset.h"
+
+namespace camad::sim::internal {
+
+/// Reusable cycle-loop buffers. Everything the steady-state loop touches
+/// is hoisted here so that, once the buffers reach their high-water marks,
+/// a cycle performs zero heap allocations (when per-cycle recording is
+/// off and no external event occurs).
+struct SimScratch {
+  DynamicBitset marked_bits;            ///< plan-cache key, refilled per cycle
+  std::vector<dcf::Value> port_value;   ///< per port; cone reset via prev_written
+  std::vector<dcf::Value> reg_state;    ///< per port (kReg outputs)
+  std::vector<std::uint32_t> prev_written;  ///< last cycle's written cone
+  std::vector<std::uint8_t> arrival;    ///< per place: token arrived this cycle
+  petri::Marking marking;
+  petri::Marking available;             ///< step-firing: start minus consumed
+  petri::Marking produced;              ///< step-firing: produced within step
+  std::vector<petri::TransitionId> order;     ///< policy-specific firing order
+  std::vector<petri::TransitionId> fireable;  ///< kSingleRandom candidates
+  std::vector<petri::TransitionId> fired;
+  std::vector<std::uint8_t> guard_value;     ///< per-cycle guard memo
+  std::vector<std::uint64_t> guard_epoch;
+  std::vector<std::uint64_t> consume_epoch;  ///< per-vertex dedup stamp
+  std::vector<dcf::VertexId> consume_list;
+  std::uint64_t epoch = 0;  ///< monotonic across cycles and runs
+  DynamicBitset dirty_steps;  ///< kSparse: wavefront worklist per cycle
+  /// kSparse: per-port epoch of the last *value-changing* latch of each
+  /// kReg output; a plan snapshot older than a register's stamp must
+  /// re-evaluate that register's leaf step.
+  std::vector<std::uint64_t> reg_stamp;
+};
+
+struct SimulatorState {
+  explicit SimulatorState(const dcf::System& sys)
+      : system(sys),
+        actions(compile_transition_actions(sys)),
+        all_transitions(sys.control().net().transitions()) {}
+
+  const dcf::System& system;
+  std::vector<TransitionActions> actions;  ///< static latch/consume tables
+  std::vector<petri::TransitionId> all_transitions;
+  PlanCache plans;
+  SimScratch scratch;
+};
+
+SimResult run_compiled(SimulatorState& state, Environment& env,
+                       const SimOptions& options);
+SimResult run_sparse(SimulatorState& state, Environment& env,
+                     const SimOptions& options);
+
+/// Histogram bucket for one cycle's wavefront size (see
+/// SimStats::wavefront_hist).
+inline std::size_t wavefront_bucket(std::uint64_t size) {
+  std::size_t bucket = 0;
+  while (size != 0 && bucket + 1 < SimStats::kWavefrontBuckets) {
+    ++bucket;
+    size >>= 1;
+  }
+  return bucket;
+}
+
+}  // namespace camad::sim::internal

@@ -1,0 +1,412 @@
+#include "sim/lanes.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "petri/marking.h"
+#include "sim/plan.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace camad::sim {
+namespace {
+
+using dcf::OpCode;
+using dcf::PortId;
+using dcf::Value;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
+
+}  // namespace
+
+struct LaneEngine::Impl {
+  explicit Impl(const dcf::System& sys)
+      : system(sys),
+        actions(compile_transition_actions(sys)),
+        all_transitions(sys.control().net().transitions()) {}
+
+  const dcf::System& system;
+  std::vector<TransitionActions> actions;
+  std::vector<petri::TransitionId> all_transitions;
+  PlanCache plans;
+};
+
+LaneEngine::LaneEngine(const dcf::System& system)
+    : impl_(std::make_unique<Impl>(system)) {}
+LaneEngine::~LaneEngine() = default;
+LaneEngine::LaneEngine(LaneEngine&&) noexcept = default;
+LaneEngine& LaneEngine::operator=(LaneEngine&&) noexcept = default;
+
+std::vector<SimResult> LaneEngine::run(std::vector<BatchRun>& runs) {
+  const std::size_t L = runs.size();
+  std::vector<SimResult> results(L);
+  if (L == 0) return results;
+
+  const obs::ObsSpan run_span("sim.run.lanes");
+  const dcf::DataPath& dp = impl_->system.datapath();
+  const dcf::ControlNet& cn = impl_->system.control();
+  const petri::Net& net = cn.net();
+  const std::size_t ports = dp.port_count();
+  const std::size_t places = net.place_count();
+  const std::size_t transitions = net.transition_count();
+  const std::size_t vertices = dp.vertex_count();
+
+  impl_->plans.set_capacity(runs[0].options.plan_cache_capacity);
+  const std::uint64_t hits0 = impl_->plans.hits();
+  const std::uint64_t misses0 = impl_->plans.misses();
+  const std::uint64_t evictions0 = impl_->plans.evictions();
+
+  // SoA state: values and registers are [port][lane] so the shared
+  // schedule's inner lane loop touches contiguous memory. Per-lane
+  // bookkeeping (arrival, guard memo, consume dedup) is lane-major
+  // because it is walked one lane at a time.
+  std::vector<Value> vals(ports * L, Value::undef());
+  std::vector<Value> regs(ports * L, Value::undef());
+  std::vector<std::uint8_t> arrival(L * places, 0);
+  std::vector<std::uint8_t> g_value(L * transitions, 0);
+  std::vector<std::uint64_t> g_epoch(L * transitions, 0);
+  std::vector<std::uint64_t> consume_epoch(L * vertices, 0);
+  std::uint64_t epoch = 0;
+
+  std::vector<petri::Marking> marking;
+  marking.reserve(L);
+  std::vector<Rng> rng;
+  rng.reserve(L);
+  std::vector<std::vector<std::uint32_t>> prev_written(L);
+  std::vector<std::uint8_t> reported_unsafe(L, 0);
+  std::vector<std::uint8_t> alive(L, 1);
+  // Token totals and the safety monitor are maintained incrementally at
+  // firing time (a place can only exceed one token via a post-set
+  // production), so the per-cycle preamble is O(1) per lane.
+  std::vector<std::uint64_t> total_tokens(L, 0);
+  std::vector<std::uint8_t> unsafe_now(L, 0);
+  for (std::size_t lane = 0; lane < L; ++lane) {
+    marking.push_back(petri::Marking::initial(net));
+    rng.emplace_back(runs[lane].options.seed);
+    for (PlaceId p : net.places()) {
+      const std::uint32_t tokens = net.initial_tokens(p);
+      total_tokens[lane] += tokens;
+      if (tokens > 1) unsafe_now[lane] = 1;
+      if (tokens > 0) arrival[lane * places + p.index()] = 1;
+    }
+    results[lane].stats.lanes = static_cast<std::uint32_t>(L);
+  }
+
+  // Shared per-lane scratch, reused because lanes fire sequentially.
+  std::vector<TransitionId> order;
+  std::vector<TransitionId> fireable;
+  std::vector<TransitionId> fired;
+  std::vector<VertexId> consume_list;
+  std::vector<DynamicBitset> lane_bits(L);
+
+  std::vector<std::uint32_t> active;
+  active.reserve(L);
+  for (std::size_t lane = 0; lane < L; ++lane) {
+    active.push_back(static_cast<std::uint32_t>(lane));
+  }
+  std::vector<std::uint32_t> survivors;
+  std::vector<std::uint32_t> group;
+  std::vector<std::uint8_t> grouped;
+
+  const auto finalize = [&](std::uint32_t lane) {
+    alive[lane] = 0;
+    SimResult& result = results[lane];
+    result.final_registers.assign(vertices, Value::undef());
+    for (VertexId v : dp.vertices()) {
+      for (PortId o : dp.output_ports(v)) {
+        if (dp.operation(o).code == OpCode::kReg) {
+          result.final_registers[v.index()] = regs[o.index() * L + lane];
+          break;
+        }
+      }
+    }
+  };
+
+  const auto guard_true = [&](std::uint32_t lane, TransitionId t) {
+    std::uint64_t& ge = g_epoch[lane * transitions + t.index()];
+    if (ge == epoch) return g_value[lane * transitions + t.index()] != 0;
+    const auto& guards = cn.guards(t);
+    bool value = guards.empty();
+    for (std::size_t g = 0; !value && g < guards.size(); ++g) {
+      value = vals[guards[g].index() * L + lane].truthy();
+    }
+    ge = epoch;
+    g_value[lane * transitions + t.index()] = value ? 1 : 0;
+    return value;
+  };
+
+  for (std::uint64_t cycle = 0; !active.empty(); ++cycle) {
+    // Per-lane cycle preamble: max-cycles bound, rule-6 termination and
+    // the safety monitor — byte-identical to the sequential engine's
+    // top-of-loop (including its check order).
+    survivors.clear();
+    for (const std::uint32_t lane : active) {
+      if (cycle >= runs[lane].options.max_cycles) {
+        finalize(lane);
+        continue;
+      }
+      SimResult& result = results[lane];
+      if (total_tokens[lane] == 0) {
+        result.terminated = true;
+        finalize(lane);
+        continue;
+      }
+      result.cycles = cycle + 1;
+      if (unsafe_now[lane] && !reported_unsafe[lane]) {
+        result.violations.push_back("unsafe marking reached at cycle " +
+                                    std::to_string(cycle));
+        reported_unsafe[lane] = 1;
+      }
+      marking[lane].marked_into(lane_bits[lane]);
+      survivors.push_back(lane);
+    }
+    ++epoch;  // one guard-memo / consume-dedup generation per cycle
+
+    // Group surviving lanes by control configuration; each group replays
+    // its plan's schedule once with a lane-strided inner loop. Groups are
+    // processed in first-lane order and lanes within a group in ascending
+    // order, so output is deterministic whatever the divergence pattern.
+    grouped.assign(survivors.size(), 0);
+    for (std::size_t gi = 0; gi < survivors.size(); ++gi) {
+      if (grouped[gi]) continue;
+      group.clear();
+      group.push_back(survivors[gi]);
+      grouped[gi] = 1;
+      for (std::size_t gj = gi + 1; gj < survivors.size(); ++gj) {
+        if (!grouped[gj] &&
+            lane_bits[survivors[gj]] == lane_bits[survivors[gi]]) {
+          group.push_back(survivors[gj]);
+          grouped[gj] = 1;
+        }
+      }
+
+      // 1. Look up (or compile) the group's shared plan. Extra lanes in
+      // the group are cache hits served by the same lookup.
+      const DynamicBitset& bits = lane_bits[group.front()];
+      ConfigPlan* plan = impl_->plans.find(bits);
+      if (plan == nullptr) {
+        const obs::ObsSpan compile_span("sim.compile_plan");
+        plan = &impl_->plans.insert(bits, compile_plan(impl_->system, bits));
+      }
+      for (std::size_t extra = 1; extra < group.size(); ++extra) {
+        impl_->plans.note_hit();
+      }
+      if (plan->combinational_loop) {
+        for (const std::uint32_t lane : group) {
+          results[lane].violations.push_back(
+              "active combinational loop during evaluation");
+          finalize(lane);
+        }
+        continue;
+      }
+
+      // 2. Combinational replay, all group lanes per step: reset each
+      // lane's previous cone, then run the schedule with the lane loop
+      // innermost over contiguous [port][lane] values.
+      for (const std::uint32_t lane : group) {
+        for (const std::uint32_t p : prev_written[lane]) {
+          vals[p * L + lane] = Value::undef();
+        }
+      }
+      std::array<Value, 3> operands;
+      for (const EvalStep& step : plan->schedule) {
+        Value* dst = &vals[step.dst * L];
+        switch (step.kind) {
+          case EvalStep::Kind::kCopy: {
+            const Value* src = &vals[step.src[0] * L];
+            for (const std::uint32_t lane : group) dst[lane] = src[lane];
+            break;
+          }
+          case EvalStep::Kind::kReg: {
+            const Value* src = &regs[step.dst * L];
+            for (const std::uint32_t lane : group) dst[lane] = src[lane];
+            break;
+          }
+          case EvalStep::Kind::kInput:
+            for (const std::uint32_t lane : group) {
+              dst[lane] = runs[lane].environment.current(step.owner);
+            }
+            break;
+          case EvalStep::Kind::kConst: {
+            const Value imm(step.op.immediate);
+            for (const std::uint32_t lane : group) dst[lane] = imm;
+            break;
+          }
+          case EvalStep::Kind::kOp:
+            for (const std::uint32_t lane : group) {
+              for (std::uint8_t k = 0; k < step.arity; ++k) {
+                operands[k] = vals[step.src[k] * L + lane];
+              }
+              dst[lane] = dcf::evaluate_op(
+                  step.op,
+                  std::span<const Value>(operands.data(), step.arity));
+            }
+            break;
+        }
+      }
+      for (const std::uint32_t lane : group) {
+        prev_written[lane].assign(plan->written.begin(), plan->written.end());
+        results[lane].stats.steps_evaluated += plan->schedule.size();
+      }
+
+      // 3-8. Everything downstream of evaluation is control-dependent and
+      // runs per lane, in ascending lane order, exactly as the sequential
+      // engine would.
+      for (const std::uint32_t lane : group) {
+        SimResult& result = results[lane];
+        const SimOptions& options = runs[lane].options;
+        Environment& env = runs[lane].environment;
+
+        for (const std::string& conflict : plan->drive_conflicts) {
+          result.violations.push_back(conflict);
+        }
+
+        CycleRecord record;
+        record.cycle = cycle;
+        if (options.record_cycles) record.marked = plan->marked;
+        for (const PlannedEvent& e : plan->events) {
+          if (!arrival[lane * places + e.controller.index()]) continue;
+          record.events.push_back(ExternalEvent{
+              e.arc, vals[e.source_port * L + lane], cycle, e.controller});
+        }
+
+        for (const ConflictCheck& check : plan->conflict_checks) {
+          int fireable_count = 0;
+          for (TransitionId t : check.candidates) {
+            if (guard_true(lane, t)) ++fireable_count;
+          }
+          if (fireable_count > 1) {
+            result.violations.push_back("guard conflict at place " +
+                                        net.name(check.place) + " (cycle " +
+                                        std::to_string(cycle) + ")");
+          }
+        }
+
+        fired.clear();
+        const std::vector<TransitionId>* fire_order = &plan->candidates;
+        if (options.policy == FiringPolicy::kRandomOrder) {
+          order.assign(impl_->all_transitions.begin(),
+                       impl_->all_transitions.end());
+          for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[rng[lane].below(i)]);
+          }
+          fire_order = &order;
+        } else if (options.policy == FiringPolicy::kSingleRandom) {
+          fireable.clear();
+          for (TransitionId t : plan->candidates) {
+            if (guard_true(lane, t)) fireable.push_back(t);
+          }
+          order.clear();
+          if (!fireable.empty()) {
+            order.push_back(fireable[rng[lane].below(fireable.size())]);
+          }
+          fire_order = &order;
+        }
+        // Pre-sets are debited from the lane's marking as transitions
+        // fire — exactly the "available" marking, since post-set
+        // production is only added below, after the whole step.
+        for (TransitionId t : *fire_order) {
+          if (!plan->candidate_mask.test(t.index())) continue;
+          bool enabled = true;
+          for (PlaceId p : net.pre(t)) {
+            if (marking[lane].tokens(p) == 0) {
+              enabled = false;
+              break;
+            }
+          }
+          if (!enabled || !guard_true(lane, t)) continue;
+          for (PlaceId p : net.pre(t)) marking[lane].remove_token(p);
+          total_tokens[lane] -= net.pre(t).size();
+          fired.push_back(t);
+        }
+        if (options.record_cycles) record.fired = fired;
+
+        bool any_reg_changed = false;
+        consume_list.clear();
+        for (TransitionId t : fired) {
+          const TransitionActions& act = impl_->actions[t.index()];
+          for (VertexId v : act.consumes) {
+            std::uint64_t& ce = consume_epoch[lane * vertices + v.index()];
+            if (ce != epoch) {
+              ce = epoch;
+              consume_list.push_back(v);
+            }
+          }
+          for (const auto& [target, reg_out] : act.latches) {
+            const Value value = vals[target * L + lane];
+            if (!value.defined()) continue;
+            Value& slot = regs[reg_out * L + lane];
+            if (slot != value) any_reg_changed = true;
+            slot = value;
+          }
+        }
+        for (VertexId v : consume_list) env.consume(v);
+
+        std::uint8_t* lane_arrival = &arrival[lane * places];
+        std::fill(lane_arrival, lane_arrival + places, 0);
+        for (TransitionId t : fired) {
+          for (PlaceId p : net.post(t)) {
+            marking[lane].add_token(p);
+            lane_arrival[p.index()] = 1;
+            ++total_tokens[lane];
+            if (marking[lane].tokens(p) > 1) unsafe_now[lane] = 1;
+          }
+        }
+
+        if (options.record_registers) {
+          record.registers.resize(ports);
+          for (std::size_t p = 0; p < ports; ++p) {
+            record.registers[p] = regs[p * L + lane];
+          }
+        }
+        if (options.record_cycles || !record.events.empty()) {
+          result.trace.cycles.push_back(std::move(record));
+        }
+
+        if (fired.empty() && !any_reg_changed && consume_list.empty()) {
+          result.deadlocked = true;
+          finalize(lane);
+        }
+      }
+    }
+
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](std::uint32_t lane) {
+                                  return alive[lane] == 0;
+                                }),
+                 active.end());
+  }
+
+  // Shared plan-cache counters go on the first lane's result (the cache
+  // serves every lane; per-lane attribution would be arbitrary). With the
+  // extra-lane note_hit() accounting, hits + misses across the block
+  // equals the total lane-cycles executed — the same invariant the
+  // sequential engines keep per run.
+  results[0].stats.plan_cache_hits = impl_->plans.hits() - hits0;
+  results[0].stats.plan_cache_misses = impl_->plans.misses() - misses0;
+  results[0].stats.plan_cache_evictions = impl_->plans.evictions() - evictions0;
+  results[0].stats.plan_cache_size = impl_->plans.size();
+  if (obs::TraceSession* session = obs::TraceSession::active()) {
+    session->counter("sim.lanes.width", static_cast<double>(L));
+    session->counter("sim.plan_cache.hits",
+                     static_cast<double>(impl_->plans.hits()));
+    session->counter("sim.plan_cache.misses",
+                     static_cast<double>(impl_->plans.misses()));
+  }
+  return results;
+}
+
+std::vector<SimResult> simulate_lanes(const dcf::System& system,
+                                      std::vector<BatchRun>& runs) {
+  LaneEngine engine(system);
+  return engine.run(runs);
+}
+
+}  // namespace camad::sim

@@ -1,0 +1,59 @@
+// Structure-of-arrays lockstep lane engine.
+//
+// Runs N environments ("lanes") against one shared system in lockstep:
+// all lanes advance through cycle k together, port values live in one
+// [port][lane] register file, and each cycle the active lanes are
+// grouped by their control configuration so every group replays its
+// ConfigPlan's schedule once with a lane-strided inner loop — one pass
+// of step decoding and schedule traversal serves the whole group, and
+// the per-step lane loop is branch-free over contiguous values
+// (SIMD-friendly). The plan cache is shared across all lanes, so a
+// multi-seed sweep of one design compiles each configuration once per
+// engine instead of once per worker.
+//
+// Every lane is observationally identical to a sequential simulate()
+// call with the same environment and options (bit-identical traces,
+// violations, terminations, final registers): lanes never interact —
+// control may diverge freely, and a lane that terminates, deadlocks or
+// exhausts its own max_cycles simply retires while the rest continue.
+//
+// Shared SimStats (plan-cache counters) are reported on the first
+// lane's result; every lane's stats carries `lanes = N`.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dcf/system.h"
+#include "sim/batch.h"
+#include "sim/simulator.h"
+
+namespace camad::sim {
+
+/// Reusable lockstep engine bound to one system. Compiled plans and the
+/// SoA scratch persist across run() calls (per-worker reuse in
+/// simulate_batch_lanes). Not thread-safe; the system must outlive the
+/// engine and stay unmodified.
+class LaneEngine {
+ public:
+  explicit LaneEngine(const dcf::System& system);
+  ~LaneEngine();
+  LaneEngine(LaneEngine&&) noexcept;
+  LaneEngine& operator=(LaneEngine&&) noexcept;
+
+  /// Runs all `runs` as lockstep lanes; results are positionally
+  /// aligned. Every SimOptions field is honored per lane except
+  /// `engine` (the lane engine is its own execution path) and
+  /// `plan_cache_capacity` (shared cache; the first lane's value wins).
+  std::vector<SimResult> run(std::vector<BatchRun>& runs);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience: LaneEngine(system).run(runs).
+std::vector<SimResult> simulate_lanes(const dcf::System& system,
+                                      std::vector<BatchRun>& runs);
+
+}  // namespace camad::sim

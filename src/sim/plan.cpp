@@ -1,5 +1,6 @@
 #include "sim/plan.h"
 
+#include <algorithm>
 #include <string>
 
 #include "graph/algorithms.h"
@@ -211,6 +212,72 @@ ConfigPlan compile_plan(const dcf::System& system,
     plan.written.push_back(p.value());
   }
   return plan;
+}
+
+void build_sparse_topology(ConfigPlan& plan) {
+  SparseState& sp = plan.sparse;
+  if (sp.topology_built) return;
+  const std::size_t steps = plan.schedule.size();
+
+  // Map port -> schedule index writing it (the schedule writes each cone
+  // port at most once).
+  std::size_t max_port = 0;
+  for (const EvalStep& step : plan.schedule) {
+    max_port = std::max<std::size_t>(max_port, step.dst);
+    if (step.kind == EvalStep::Kind::kCopy) {
+      max_port = std::max<std::size_t>(max_port, step.src[0]);
+    } else if (step.kind == EvalStep::Kind::kOp) {
+      for (std::uint8_t k = 0; k < step.arity; ++k) {
+        max_port = std::max<std::size_t>(max_port, step.src[k]);
+      }
+    }
+  }
+  std::vector<std::uint32_t> writer(max_port + 1, kNoDriver);
+  for (std::size_t i = 0; i < steps; ++i) {
+    writer[plan.schedule[i].dst] = static_cast<std::uint32_t>(i);
+  }
+
+  // Leaves: the steps whose value can change between executions of this
+  // plan while the support stays fixed. kConst/⊥-copy sources never do.
+  sp.leaf_steps.clear();
+  for (std::size_t i = 0; i < steps; ++i) {
+    const EvalStep::Kind kind = plan.schedule[i].kind;
+    if (kind == EvalStep::Kind::kReg || kind == EvalStep::Kind::kInput) {
+      sp.leaf_steps.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Dependency CSR: for each step, the later steps reading its dst. Two
+  // passes (count, fill) over the schedule's source lists.
+  sp.dep_offsets.assign(steps + 1, 0);
+  auto for_each_source = [&](const EvalStep& step, auto&& fn) {
+    if (step.kind == EvalStep::Kind::kCopy) {
+      fn(step.src[0]);
+    } else if (step.kind == EvalStep::Kind::kOp) {
+      for (std::uint8_t k = 0; k < step.arity; ++k) fn(step.src[k]);
+    }
+  };
+  for (std::size_t i = 0; i < steps; ++i) {
+    for_each_source(plan.schedule[i], [&](std::uint32_t src) {
+      const std::uint32_t w = writer[src];
+      if (w != kNoDriver) ++sp.dep_offsets[w + 1];
+    });
+  }
+  for (std::size_t i = 0; i < steps; ++i) {
+    sp.dep_offsets[i + 1] += sp.dep_offsets[i];
+  }
+  sp.dep_steps.assign(sp.dep_offsets[steps], 0);
+  std::vector<std::uint32_t> cursor(sp.dep_offsets.begin(),
+                                    sp.dep_offsets.end() - 1);
+  for (std::size_t i = 0; i < steps; ++i) {
+    for_each_source(plan.schedule[i], [&](std::uint32_t src) {
+      const std::uint32_t w = writer[src];
+      if (w != kNoDriver) {
+        sp.dep_steps[cursor[w]++] = static_cast<std::uint32_t>(i);
+      }
+    });
+  }
+  sp.topology_built = true;
 }
 
 std::vector<TransitionActions> compile_transition_actions(

@@ -69,6 +69,37 @@ struct ConflictCheck {
   std::vector<petri::TransitionId> candidates;
 };
 
+/// Change-propagation metadata and memoized cone values for the sparse
+/// engine (SimEngine::kSparse). A plan's cone values are a pure function
+/// of its leaf inputs — register state, environment stream heads and
+/// constants — so the engine snapshots them after each execution of the
+/// plan and, on re-entry, re-evaluates only the steps downstream of a
+/// leaf whose input actually changed. Unused (empty) under the other
+/// engines; lives inside the plan so the LRU cap bounds it too.
+struct SparseState {
+  bool topology_built = false;
+  /// Schedule indices of kReg / kInput steps (the only steps whose value
+  /// can change while the marking support stays fixed).
+  std::vector<std::uint32_t> leaf_steps;
+  /// CSR over schedule indices: step i's value feeds steps
+  /// dep_steps[dep_offsets[i] .. dep_offsets[i+1]) — all with index > i,
+  /// because the schedule is topologically ordered.
+  std::vector<std::uint32_t> dep_offsets;
+  std::vector<std::uint32_t> dep_steps;
+  /// Port values as of the plan's most recent execution, full port-count
+  /// sized (non-cone ports stay ⊥ forever). Empty until first executed.
+  std::vector<dcf::Value> values;
+  /// Engine epoch at which `values` was last brought up to date; compared
+  /// against per-register change stamps to seed the wavefront.
+  std::uint64_t snap_epoch = 0;
+  /// Change-extent of the plan's previous execution (wavefront size in
+  /// sparse mode, changed-step count in dense mode). Drives the adaptive
+  /// mode switch: when most of the schedule changed last time, the next
+  /// execution runs a straight linear sweep instead of paying the
+  /// worklist bookkeeping for no skips.
+  std::uint32_t last_wavefront = 0;
+};
+
 struct ConfigPlan {
   std::vector<petri::PlaceId> marked;  ///< ascending place list
   /// Active combinational cycle: execution must abort with a violation.
@@ -84,6 +115,7 @@ struct ConfigPlan {
   DynamicBitset candidate_mask;         ///< |T| bits: preset ⊆ marked
   std::vector<petri::TransitionId> candidates;  ///< ascending
   std::vector<ConflictCheck> conflict_checks;   ///< ascending by place
+  SparseState sparse;  ///< kSparse engine extension (lazily built)
 };
 
 /// Latch commits and stream advances triggered by one transition firing;
@@ -99,6 +131,10 @@ struct TransitionActions {
 /// Compiles the plan for one marked-place support set.
 ConfigPlan compile_plan(const dcf::System& system,
                         const DynamicBitset& marked_bits);
+
+/// Builds the plan's SparseState topology (leaf steps + dependency CSR)
+/// from its schedule. Idempotent; does not touch the value snapshot.
+void build_sparse_topology(ConfigPlan& plan);
 
 /// Static per-transition latch/consume tables, indexed by transition.
 std::vector<TransitionActions> compile_transition_actions(

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "petri/exec.h"
 #include "petri/marking.h"
+#include "sim/engine_internal.h"
 #include "sim/plan.h"
 #include "util/bitset.h"
 #include "util/error.h"
@@ -351,44 +352,19 @@ SimResult simulate_reference(const dcf::System& system, Environment& env,
   return result;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Compiled-plan engine.
 
-/// Reusable cycle-loop buffers. Everything the steady-state loop touches
-/// is hoisted here so that, once the buffers reach their high-water marks,
-/// a cycle performs zero heap allocations (when per-cycle recording is
-/// off and no external event occurs).
-struct SimScratch {
-  DynamicBitset marked_bits;            ///< plan-cache key, refilled per cycle
-  std::vector<Value> port_value;        ///< per port; cone reset via prev_written
-  std::vector<Value> reg_state;         ///< per port (kReg outputs)
-  std::vector<std::uint32_t> prev_written;  ///< last cycle's written cone
-  std::vector<std::uint8_t> arrival;    ///< per place: token arrived this cycle
-  petri::Marking marking;
-  petri::Marking available;             ///< step-firing: start minus consumed
-  petri::Marking produced;              ///< step-firing: produced within step
-  std::vector<TransitionId> order;      ///< policy-specific firing order
-  std::vector<TransitionId> fireable;   ///< kSingleRandom candidates
-  std::vector<TransitionId> fired;
-  std::vector<std::uint8_t> guard_value;    ///< per-cycle guard memo
-  std::vector<std::uint64_t> guard_epoch;
-  std::vector<std::uint64_t> consume_epoch;  ///< per-vertex dedup stamp
-  std::vector<VertexId> consume_list;
-  std::uint64_t epoch = 0;  ///< monotonic across cycles and runs
-};
+namespace internal {
 
-struct SimulatorState {
-  explicit SimulatorState(const dcf::System& sys)
-      : system(sys),
-        actions(compile_transition_actions(sys)),
-        all_transitions(sys.control().net().transitions()) {}
-
-  const dcf::System& system;
-  std::vector<TransitionActions> actions;  ///< static latch/consume tables
-  std::vector<TransitionId> all_transitions;
-  PlanCache plans;
-  SimScratch scratch;
-};
+using dcf::OpCode;
+using dcf::PortId;
+using dcf::Value;
+using dcf::VertexId;
+using petri::PlaceId;
+using petri::TransitionId;
 
 SimResult run_compiled(SimulatorState& state, Environment& env,
                        const SimOptions& options) {
@@ -659,13 +635,44 @@ SimResult run_compiled(SimulatorState& state, Environment& env,
   return result;
 }
 
-}  // namespace
+}  // namespace internal
+
+std::string_view engine_name(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kCompiled:
+      return "compiled";
+    case SimEngine::kReference:
+      return "reference";
+    case SimEngine::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+std::optional<SimEngine> engine_from_name(std::string_view name) {
+  if (name == "compiled") return SimEngine::kCompiled;
+  if (name == "reference") return SimEngine::kReference;
+  if (name == "sparse") return SimEngine::kSparse;
+  return std::nullopt;
+}
+
+double SimStats::activity_factor() const {
+  const std::uint64_t total = steps_evaluated + steps_skipped;
+  if (total == 0) return 0.0;
+  return static_cast<double>(steps_evaluated) / static_cast<double>(total);
+}
 
 SimStats& SimStats::operator+=(const SimStats& other) {
   plan_cache_hits += other.plan_cache_hits;
   plan_cache_misses += other.plan_cache_misses;
   plan_cache_evictions += other.plan_cache_evictions;
   plan_cache_size = std::max(plan_cache_size, other.plan_cache_size);
+  steps_evaluated += other.steps_evaluated;
+  steps_skipped += other.steps_skipped;
+  for (std::size_t i = 0; i < kWavefrontBuckets; ++i) {
+    wavefront_hist[i] += other.wavefront_hist[i];
+  }
+  lanes = std::max(lanes, other.lanes);
   return *this;
 }
 
@@ -675,12 +682,20 @@ std::string SimStats::to_string() const {
                     " misses, " + std::to_string(plan_cache_evictions) +
                     " evictions, " + std::to_string(plan_cache_size) +
                     " resident";
+  if (steps_evaluated + steps_skipped > 0) {
+    const double percent = 100.0 * activity_factor();
+    const std::string rounded = std::to_string(percent);
+    out += "; steps: " + std::to_string(steps_evaluated) + " evaluated, " +
+           std::to_string(steps_skipped) + " skipped (activity " +
+           rounded.substr(0, rounded.find('.') + 2) + "%)";
+  }
+  if (lanes > 0) out += "; lanes: " + std::to_string(lanes);
   return out;
 }
 
 struct Simulator::Impl {
   explicit Impl(const dcf::System& system) : state(system) {}
-  SimulatorState state;
+  internal::SimulatorState state;
 };
 
 Simulator::Simulator(const dcf::System& system)
@@ -690,10 +705,15 @@ Simulator::Simulator(Simulator&&) noexcept = default;
 Simulator& Simulator::operator=(Simulator&&) noexcept = default;
 
 SimResult Simulator::run(Environment& env, const SimOptions& options) {
-  if (options.engine == SimEngine::kReference) {
-    return simulate_reference(impl_->state.system, env, options);
+  switch (options.engine) {
+    case SimEngine::kReference:
+      return simulate_reference(impl_->state.system, env, options);
+    case SimEngine::kSparse:
+      return internal::run_sparse(impl_->state, env, options);
+    case SimEngine::kCompiled:
+      break;
   }
-  return run_compiled(impl_->state, env, options);
+  return internal::run_compiled(impl_->state, env, options);
 }
 
 SimResult simulate(const dcf::System& system, Environment& env,
@@ -701,8 +721,11 @@ SimResult simulate(const dcf::System& system, Environment& env,
   if (options.engine == SimEngine::kReference) {
     return simulate_reference(system, env, options);
   }
-  SimulatorState state(system);
-  return run_compiled(state, env, options);
+  internal::SimulatorState state(system);
+  if (options.engine == SimEngine::kSparse) {
+    return internal::run_sparse(state, env, options);
+  }
+  return internal::run_compiled(state, env, options);
 }
 
 }  // namespace camad::sim

@@ -16,13 +16,19 @@
 //   7. the environment stream of every input vertex read this cycle
 //      advances.
 //
-// Two engines implement these rules (see docs/PERF.md):
+// Three engines implement these rules (see docs/PERF.md):
 //   * kCompiled (default) — compiles each distinct marked-place set into
 //     a ConfigPlan (active-arc mask, cone-restricted evaluation schedule,
 //     event/guard/latch tables) and replays it with an allocation-free
 //     steady-state cycle loop;
+//   * kSparse — the compiled engine plus change propagation: each plan
+//     snapshots its cone values after executing, and on re-entry only the
+//     steps downstream of a changed leaf (register, stream head) are
+//     re-evaluated, in a levelized wavefront that fires each step at most
+//     once per cycle; cones byte-identical to the plan's previous
+//     execution are skipped entirely;
 //   * kReference — the direct per-cycle transcription of the rules; the
-//     differential-testing baseline the compiled engine must match
+//     differential-testing baseline the other engines must match
 //     bit-for-bit (traces, violations, terminations, final registers).
 //
 // Firing policies exist to *test* the confluence claim behind Def 3.2:
@@ -30,9 +36,12 @@
 // external event structure; for improper ones they may diverge (E7).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dcf/system.h"
@@ -50,7 +59,13 @@ enum class FiringPolicy : std::uint8_t {
 enum class SimEngine : std::uint8_t {
   kCompiled,   ///< configuration-plan engine (default)
   kReference,  ///< naive per-cycle rule transcription (differential oracle)
+  kSparse,     ///< compiled engine + change-propagation wavefronts
 };
+
+/// "compiled" / "reference" / "sparse" (CLI spelling).
+[[nodiscard]] std::string_view engine_name(SimEngine engine);
+/// Inverse of engine_name; nullopt for unknown spellings.
+[[nodiscard]] std::optional<SimEngine> engine_from_name(std::string_view name);
 
 struct SimOptions {
   std::uint64_t max_cycles = 100000;
@@ -78,8 +93,30 @@ struct SimStats {
   std::uint64_t plan_cache_evictions = 0;
   std::uint64_t plan_cache_size = 0;  ///< resident entries after the run
 
+  // --- sparse engine (zero under the other engines) ---
+  /// Schedule steps actually executed / proven byte-identical to the
+  /// plan's previous execution and skipped. evaluated+skipped sums the
+  /// cone sizes over all cycles, so evaluated/(evaluated+skipped) is the
+  /// run's activity factor.
+  std::uint64_t steps_evaluated = 0;
+  std::uint64_t steps_skipped = 0;
+  /// Per-cycle wavefront sizes (steps re-evaluated), power-of-two
+  /// buckets: bucket 0 counts empty wavefronts, bucket i >= 1 counts
+  /// sizes in [2^(i-1), 2^i), the last bucket absorbs the tail.
+  static constexpr std::size_t kWavefrontBuckets = 16;
+  std::array<std::uint64_t, kWavefrontBuckets> wavefront_hist{};
+
+  /// Lockstep lanes this result was produced with (simulate_lanes);
+  /// 0 for ordinary single-lane runs.
+  std::uint32_t lanes = 0;
+
+  /// Fraction of cone steps re-evaluated per cycle; 0 when the sparse
+  /// counters are empty (non-sparse engines).
+  [[nodiscard]] double activity_factor() const;
+
   /// Aggregation across runs: counts sum; size keeps the largest resident
-  /// footprint seen (sizes of distinct caches are not additive).
+  /// footprint seen (sizes of distinct caches are not additive); lanes
+  /// keeps the widest run.
   SimStats& operator+=(const SimStats& other);
 
   /// One-line human-readable summary for CLI output.

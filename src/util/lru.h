@@ -56,6 +56,10 @@ class LruCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
+  /// Records a hit served without a lookup (a caller-side memoized
+  /// pointer), keeping hit+miss totals meaningful for such callers.
+  void note_hit() { ++hits_; }
+
  private:
   struct Entry {
     Key key;

@@ -41,7 +41,9 @@
 #include "obs/adapters.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/batch.h"
 #include "sim/environment.h"
+#include "sim/lanes.h"
 #include "sim/simulator.h"
 #include "sim/vcd.h"
 #include "synth/compile.h"
@@ -104,6 +106,7 @@ constexpr const char* kUsage =
     "--no-verify\n"
     "  sim:    --in name=v1,v2,... --vcd PATH --max-cycles N --trace "
     "--seed S\n"
+    "          --engine compiled|reference|sparse --lanes N\n"
     "  verify: --threads N --max-states M --token-bound B --witness[=FILE] "
     "--no-guards\n"
     "  report: --trips T\n"
@@ -120,7 +123,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
   const std::vector<std::string> value_options = {
       "--lambda",  "--max-steps",  "--netlist",     "--dot",   "--in",
       "--vcd",     "--max-cycles", "--seed",        "--trips", "--out",
-      "--passes",  "--threads",    "--max-states",  "--token-bound"};
+      "--passes",  "--threads",    "--max-states",  "--token-bound",
+      "--engine",  "--lanes"};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!starts_with(arg, "--")) return std::nullopt;
@@ -372,11 +376,12 @@ int cmd_sim(const Args& args) {
   Telemetry telemetry(args, /*bare_trace_is_chrome=*/false);
   const dcf::System system = load_any(args.file);
 
+  std::uint64_t seed = 7;
+  if (const auto s = args.option("--seed")) seed = std::stoull(s->c_str());
+
   sim::Environment env;
   const auto specs = args.option_all("--in");
   if (specs.empty()) {
-    std::uint64_t seed = 7;
-    if (const auto s = args.option("--seed")) seed = std::stoull(s->c_str());
     env = sim::Environment::random_for(system, seed, 64, 1, 99);
     std::cout << "(no --in given: random environment, seed " << seed
               << ")\n";
@@ -406,6 +411,66 @@ int cmd_sim(const Args& args) {
   if (const auto limit = args.option("--max-cycles")) {
     options.max_cycles = std::stoull(limit->c_str());
   }
+  options.seed = seed;
+  if (const auto name = args.option("--engine")) {
+    const auto engine = sim::engine_from_name(*name);
+    if (!engine.has_value()) {
+      std::cerr << "unknown engine '" << *name
+                << "' (expected compiled, reference or sparse)\n";
+      return 2;
+    }
+    options.engine = *engine;
+  }
+
+  std::size_t lanes = 1;
+  if (const auto n = args.option("--lanes")) {
+    lanes = std::stoull(n->c_str());
+    if (lanes == 0) lanes = 1;
+  }
+  if (lanes > 1) {
+    // Lane mode: N lockstep runs through the SoA lane engine. Explicit
+    // --in streams are replicated across lanes; without --in each lane
+    // gets its own random environment (seeds seed .. seed+N-1). The
+    // per-lane seed offsets decorrelate random firing policies too.
+    std::vector<sim::BatchRun> runs;
+    runs.reserve(lanes);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      sim::BatchRun run;
+      run.environment =
+          specs.empty() ? sim::Environment::random_for(system, seed + k, 64,
+                                                       1, 99)
+                        : env;
+      run.options = options;
+      run.options.seed = seed + k;
+      runs.push_back(std::move(run));
+    }
+    const std::vector<sim::SimResult> results =
+        sim::simulate_lanes(system, runs);
+    bool any_violation = false;
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      const sim::SimResult& r = results[k];
+      std::cout << system.name() << " lane " << k << ": "
+                << (r.terminated
+                        ? "terminated"
+                        : (r.deadlocked ? "deadlocked" : "cycle limit"))
+                << " after " << r.cycles << " cycles, "
+                << r.trace.event_count() << " external events\n";
+      for (const std::string& violation : r.violations) {
+        std::cout << "violation (lane " << k << "): " << violation << '\n';
+        any_violation = true;
+      }
+    }
+    sim::SimStats stats;
+    for (const sim::SimResult& r : results) stats += r.stats;
+    std::cout << "  engine lanes: " << stats.to_string() << '\n';
+    if (telemetry.metrics_enabled()) {
+      obs::publish_sim_stats(telemetry.metrics, stats);
+      telemetry.metrics.add("sim.runs", results.size());
+    }
+    telemetry.finish();
+    return any_violation ? 1 : 0;
+  }
+
   const sim::SimResult result = sim::simulate(system, env, options);
 
   std::cout << system.name() << ": "
@@ -414,7 +479,8 @@ int cmd_sim(const Args& args) {
                     : (result.deadlocked ? "deadlocked" : "cycle limit"))
             << " after " << result.cycles << " cycles, "
             << result.trace.event_count() << " external events\n";
-  std::cout << "  " << result.stats.to_string() << '\n';
+  std::cout << "  engine " << sim::engine_name(options.engine) << ": "
+            << result.stats.to_string() << '\n';
   for (const std::string& violation : result.violations) {
     std::cout << "violation: " << violation << '\n';
   }
