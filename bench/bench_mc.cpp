@@ -15,12 +15,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "json_out.h"
 #include "mc/checker.h"
+#include "petri/pnml.h"
 #include "petri/reachability.h"
 #include "util/error.h"
 #include "workloads.h"
@@ -52,6 +55,24 @@ petri::Net net_for(const Workload& w) {
   return bench::random_sp_net(/*seed=*/3, options);
 }
 
+// External MCC-family instances from designs/pnml: unlike the synthetic
+// series/parallel workloads above, these have cyclic structure and
+// contention, so they exercise a different exploration profile.
+constexpr const char* kCorpusWorkloads[] = {
+    "Philosophers-PT-10",
+    "Referendum-PT-10",
+};
+
+petri::Net corpus_net(const char* name) {
+  const std::string path =
+      std::string(CAMAD_PNML_DIR) + "/" + name + ".pnml";
+  std::ifstream in(path);
+  if (!in) throw Error("bench_mc: cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return petri::from_pnml(os.str()).net;
+}
+
 mc::McOptions options_for(std::size_t threads) {
   mc::McOptions opt;
   opt.threads = threads;
@@ -77,42 +98,47 @@ double run_once(const petri::Net& net, std::size_t threads,
   return seconds;
 }
 
+void sweep_json(bench::BenchJson& json, const std::string& name,
+                const petri::Net& net) {
+  const mc::McResult reference = mc::model_check(net, options_for(1));
+  json.begin_design(name)
+      .field("states", static_cast<std::uint64_t>(reference.state_count))
+      .field("depth", static_cast<std::uint64_t>(reference.depth));
+  double base = 0.0;
+  for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+    // Best of three: the scaling curve, not scheduler noise.
+    double best = run_once(net, threads, reference);
+    for (int rep = 0; rep < 2; ++rep) {
+      best = std::min(best, run_once(net, threads, reference));
+    }
+    if (threads == 1) base = best;
+    const double rate = static_cast<double>(reference.state_count) / best;
+    const std::string suffix = "_t" + std::to_string(threads);
+    json.field("states_per_second" + suffix,
+               static_cast<std::uint64_t>(rate))
+        .field("speedup" + suffix, bench::rounded(base / best, 2));
+    std::cout << "BENCH_mc " << name << " t=" << threads << ": "
+              << static_cast<std::uint64_t>(rate) << " states/s, "
+              << bench::rounded(base / best, 2) << "x\n";
+  }
+  json.end_design();
+}
+
 bool emit_json(const std::string& path) {
   bench::BenchJson json(path, "mc", "states_per_second");
   json.meta("hardware_threads",
             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   for (const Workload& w : kWorkloads) {
-    const petri::Net net = net_for(w);
-    const mc::McResult reference = mc::model_check(net, options_for(1));
-    json.begin_design(w.name)
-        .field("states", static_cast<std::uint64_t>(reference.state_count))
-        .field("depth", static_cast<std::uint64_t>(reference.depth));
-    double base = 0.0;
-    for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
-      // Best of three: the scaling curve, not scheduler noise.
-      double best = run_once(net, threads, reference);
-      for (int rep = 0; rep < 2; ++rep) {
-        best = std::min(best, run_once(net, threads, reference));
-      }
-      if (threads == 1) base = best;
-      const double rate = static_cast<double>(reference.state_count) / best;
-      const std::string suffix = "_t" + std::to_string(threads);
-      json.field("states_per_second" + suffix,
-                 static_cast<std::uint64_t>(rate))
-          .field("speedup" + suffix, bench::rounded(base / best, 2));
-      std::cout << "BENCH_mc " << w.name << " t=" << threads << ": "
-                << static_cast<std::uint64_t>(rate) << " states/s, "
-                << bench::rounded(base / best, 2) << "x\n";
-    }
-    json.end_design();
+    sweep_json(json, w.name, net_for(w));
+  }
+  for (const char* name : kCorpusWorkloads) {
+    sweep_json(json, name, corpus_net(name));
   }
   return json.finish();
 }
 
-void BM_model_check(benchmark::State& state, const Workload& w) {
-  const petri::Net net = net_for(w);
+void run_bm(benchmark::State& state, const petri::Net& net) {
   const std::size_t threads = static_cast<std::size_t>(state.range(0));
-  const mc::McResult reference = mc::model_check(net, options_for(1));
   std::size_t states = 0;
   for (auto _ : state) {
     const mc::McResult out = mc::model_check(net, options_for(threads));
@@ -121,6 +147,10 @@ void BM_model_check(benchmark::State& state, const Workload& w) {
   }
   state.counters["states/s"] = benchmark::Counter(
       static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+
+void BM_model_check(benchmark::State& state, const Workload& w) {
+  run_bm(state, net_for(w));
 }
 
 }  // namespace
@@ -134,6 +164,16 @@ int main(int argc, char** argv) {
   for (const Workload& w : kWorkloads) {
     benchmark::RegisterBenchmark(
         (std::string("BM_model_check/") + w.name).c_str(), BM_model_check, w)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const char* name : kCorpusWorkloads) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_model_check/") + name).c_str(),
+        [name](benchmark::State& state) { run_bm(state, corpus_net(name)); })
         ->Arg(1)
         ->Arg(2)
         ->Arg(4)

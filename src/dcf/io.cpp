@@ -1,5 +1,6 @@
 #include "dcf/io.h"
 
+#include <algorithm>
 #include <sstream>
 #include <vector>
 
@@ -60,12 +61,26 @@ std::string save_system(const System& system) {
   for (petri::TransitionId t : net.transitions()) {
     os << "trans " << net.name(t) << '\n';
   }
+  // Weighted arcs are multiset entries in pre/post; collapse each pair to
+  // one line with the weight appended (omitted when 1, the legacy form).
+  const auto emit_flow = [&os](const char* dir, std::uint32_t a,
+                               std::uint32_t b, std::uint32_t weight) {
+    os << "flow " << dir << ' ' << a << ' ' << b;
+    if (weight > 1) os << ' ' << weight;
+    os << '\n';
+  };
   for (petri::TransitionId t : net.transitions()) {
+    std::vector<petri::PlaceId> seen;
     for (petri::PlaceId s : net.pre(t)) {
-      os << "flow st " << s.value() << ' ' << t.value() << '\n';
+      if (std::find(seen.begin(), seen.end(), s) != seen.end()) continue;
+      seen.push_back(s);
+      emit_flow("st", s.value(), t.value(), net.arc_weight(s, t));
     }
+    seen.clear();
     for (petri::PlaceId s : net.post(t)) {
-      os << "flow ts " << t.value() << ' ' << s.value() << '\n';
+      if (std::find(seen.begin(), seen.end(), s) != seen.end()) continue;
+      seen.push_back(s);
+      emit_flow("ts", t.value(), s.value(), net.arc_weight(t, s));
     }
   }
   for (petri::PlaceId s : net.places()) {
@@ -161,10 +176,16 @@ System load_system(const std::string& text) {
       std::string dir;
       unsigned a = 0, b = 0;
       if (!(ls >> dir >> a >> b)) throw fail("malformed flow");
+      unsigned weight = 1;  // optional trailing field, legacy lines omit it
+      if (!(ls >> weight)) {
+        weight = 1;  // failed extraction zeroes the value; restore default
+      } else if (weight == 0) {
+        throw fail("flow weight must be positive");
+      }
       if (dir == "st") {
-        cn.net().connect(petri::PlaceId(a), petri::TransitionId(b));
+        cn.net().connect(petri::PlaceId(a), petri::TransitionId(b), weight);
       } else if (dir == "ts") {
-        cn.net().connect(petri::TransitionId(a), petri::PlaceId(b));
+        cn.net().connect(petri::TransitionId(a), petri::PlaceId(b), weight);
       } else {
         throw fail("flow direction must be st/ts");
       }

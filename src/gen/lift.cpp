@@ -1,0 +1,73 @@
+#include "gen/lift.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "dcf/builder.h"
+
+namespace camad::gen {
+namespace {
+
+/// PNML names may contain whitespace; the `.sys` format (and most
+/// downstream reports) are whitespace-delimited, so map it to '_'.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+dcf::System lift_control_net(const petri::Net& control,
+                             const LiftOptions& options,
+                             const std::string& name) {
+  using petri::PlaceId;
+  using petri::TransitionId;
+
+  dcf::SystemBuilder b;
+
+  // States and transitions in index order, so the ids of the imported net
+  // carry over unchanged.
+  std::vector<PlaceId> states;
+  states.reserve(control.place_count());
+  for (PlaceId p : control.places()) {
+    const PlaceId s = b.state(sanitize(control.name(p)));
+    b.controlnet().net().set_initial_tokens(s, control.initial_tokens(p));
+    states.push_back(s);
+  }
+  for (TransitionId t : control.transitions()) {
+    b.transition(sanitize(control.name(t)));
+  }
+
+  // Flow arcs: one connect per distinct (source, target) pair carrying
+  // the multiset weight.
+  std::vector<PlaceId> seen;
+  for (TransitionId t : control.transitions()) {
+    seen.clear();
+    for (PlaceId p : control.pre(t)) {
+      if (std::find(seen.begin(), seen.end(), p) != seen.end()) continue;
+      seen.push_back(p);
+      b.controlnet().net().connect(p, t, control.arc_weight(p, t));
+    }
+    seen.clear();
+    for (PlaceId p : control.post(t)) {
+      if (std::find(seen.begin(), seen.end(), p) != seen.end()) continue;
+      seen.push_back(p);
+      b.controlnet().net().connect(t, p, control.arc_weight(t, p));
+    }
+  }
+
+  if (options.stub == StubStyle::kRegisterPerState) {
+    const dcf::VertexId env = b.input("env");
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const dcf::VertexId r = b.reg("r" + std::to_string(i));
+      b.connect(env, r, 0, {states[i]});
+    }
+  }
+
+  return b.build(name);
+}
+
+}  // namespace camad::gen

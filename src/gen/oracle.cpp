@@ -11,6 +11,8 @@
 #include "dcf/io.h"
 #include "gen/shrink.h"
 #include "mc/checker.h"
+#include "petri/export.h"
+#include "petri/pnml.h"
 #include "petri/reachability.h"
 #include "obs/trace.h"
 #include "semantics/analysis.h"
@@ -343,6 +345,23 @@ void run_system_battery(const dcf::System& system, std::uint64_t seed,
       }
     } catch (const Error& e) {
       throw StageFailure{"io", describe(e)};
+    }
+  }
+  if (io_stage && opt.check_pnml) {
+    const obs::ObsSpan span("oracle.pnml");
+    try {
+      const petri::Net& net = system.control().net();
+      const std::string text = petri::to_pnml(net, system.name());
+      const petri::PnmlImport imported = petri::from_pnml(text);
+      if (!petri::same_structure(imported.net, net)) {
+        throw StageFailure{"pnml",
+                           "from_pnml(to_pnml(net)) is not isomorphic"};
+      }
+      if (petri::to_pnml(imported.net, system.name()) != text) {
+        throw StageFailure{"pnml", "re-export is not a byte-exact fixpoint"};
+      }
+    } catch (const Error& e) {
+      throw StageFailure{"pnml", describe(e)};
     }
   }
 }

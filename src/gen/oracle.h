@@ -21,7 +21,10 @@
 //   fold        (program level) compiling the constant-folded program is
 //               observationally equivalent to compiling the original;
 //   io          (system level) save_system -> load_system round-trips to
-//               an equivalent, re-serialization-stable system.
+//               an equivalent, re-serialization-stable system;
+//   pnml        (system level) to_pnml -> from_pnml reconstructs a
+//               structurally identical control net and re-export is a
+//               byte-exact fixpoint.
 //
 // A failing seed is minimized with gen/shrink.h under a predicate that
 // reruns the battery and demands the *same stage* fail, then reported
@@ -71,6 +74,10 @@ struct OracleOptions {
   bool check_roundtrip = true;
   bool check_fold = true;
   bool check_io = true;
+  /// (system level) to_pnml -> from_pnml returns a structurally
+  /// identical control net, and re-export is a byte-exact fixpoint —
+  /// the PNML interchange path quantified over generated systems.
+  bool check_pnml = true;
   /// Cross-check the mc model checker against the petri explorer on
   /// every generated system (stage "mc"): unguarded mc must reproduce
   /// petri::explore's verdicts and concurrency relation bit-for-bit,

@@ -89,9 +89,14 @@ struct Search {
   VisitedStore store;
   std::size_t workers;
 
-  // Flattened flow relation (place indices per transition).
+  // Flattened flow relation (place indices per transition). `pre`/`post`
+  // keep multiset entries (one per token moved, so the firing loops stay
+  // weight-correct); `pre_unique`/`pre_need` are the deduplicated view for
+  // the enabling check: place index plus required token multiplicity.
   std::vector<std::vector<std::uint32_t>> pre;
   std::vector<std::vector<std::uint32_t>> post;
+  std::vector<std::vector<std::uint32_t>> pre_unique;
+  std::vector<std::vector<std::uint32_t>> pre_need;
   // Competitor lists per place (transition indices of net.post(place)).
   std::vector<std::vector<std::uint32_t>> competitors;
 
@@ -118,14 +123,32 @@ struct Search {
     const std::size_t t_count = net.transition_count();
     pre.resize(t_count);
     post.resize(t_count);
+    pre_unique.resize(t_count);
+    pre_need.resize(t_count);
     for (TransitionId t : net.transitions()) {
       for (PlaceId p : net.pre(t)) pre[t.index()].push_back(p.value());
       for (PlaceId p : net.post(t)) post[t.index()].push_back(p.value());
+      auto& unique = pre_unique[t.index()];
+      auto& need = pre_need[t.index()];
+      for (const std::uint32_t p : pre[t.index()]) {
+        const auto it = std::find(unique.begin(), unique.end(), p);
+        if (it == unique.end()) {
+          unique.push_back(p);
+          need.push_back(1);
+        } else {
+          ++need[static_cast<std::size_t>(it - unique.begin())];
+        }
+      }
     }
     competitors.resize(net.place_count());
     for (PlaceId p : net.places()) {
       for (TransitionId t : net.post(p)) {
-        competitors[p.index()].push_back(t.value());
+        auto& comp = competitors[p.index()];
+        // Weighted arcs list the same consumer once per token; competitor
+        // sets care only about identity.
+        if (std::find(comp.begin(), comp.end(), t.value()) == comp.end()) {
+          comp.push_back(t.value());
+        }
       }
     }
     worker_state.resize(workers);
@@ -142,8 +165,10 @@ struct Search {
 
   [[nodiscard]] bool token_enabled(const std::uint64_t* w,
                                    std::size_t t) const {
-    for (const std::uint32_t p : pre[t]) {
-      if (codec.tokens(w, p) == 0) return false;
+    const auto& unique = pre_unique[t];
+    const auto& need = pre_need[t];
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      if (codec.tokens(w, unique[i]) < need[i]) return false;
     }
     return true;
   }

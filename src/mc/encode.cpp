@@ -23,10 +23,24 @@ StateCodec::StateCodec(const petri::Net& net, std::uint32_t token_bound,
   for (petri::PlaceId p : net.places()) {
     max_initial = std::max(max_initial, net.initial_tokens(p));
   }
-  // Expansion is cut off above token_bound and a firing adds at most one
-  // token per place, so token_bound + 1 (or a larger initial count) is
-  // the largest value ever stored.
-  cap_ = std::max(token_bound + 1, max_initial);
+  // Expansion is cut off above token_bound and a firing adds at most
+  // `gain` tokens per place (1 for ordinary nets, the largest post-arc
+  // weight otherwise), so token_bound + gain (or a larger initial count)
+  // is the largest value ever stored.
+  std::uint32_t max_gain = 1;
+  if (!net.is_ordinary()) {
+    for (petri::TransitionId t : net.transitions()) {
+      const std::vector<petri::PlaceId>& post = net.post(t);
+      for (std::size_t i = 0; i < post.size(); ++i) {
+        std::uint32_t w = 1;
+        for (std::size_t j = i + 1; j < post.size(); ++j) {
+          if (post[j] == post[i]) ++w;
+        }
+        max_gain = std::max(max_gain, w);
+      }
+    }
+  }
+  cap_ = std::max(token_bound + max_gain, max_initial);
   std::size_t bits = 1;
   while ((std::uint64_t{1} << bits) - 1 < cap_) ++bits;
   // Round up to a power of two so fields never straddle a word.

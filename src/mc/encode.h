@@ -4,9 +4,10 @@
 // guard-commitment cell per tracked condition group (see mc/guards.h).
 // Token counts pack into fixed-width bit fields sized for the largest
 // count exploration can ever store: the bound cutoff stops expansion of
-// any marking exceeding `token_bound`, and an ordinary net adds at most
-// one token per place per firing, so counts never exceed
-// max(token_bound + 1, max initial tokens). Field widths are rounded up
+// any marking exceeding `token_bound`, and a firing adds at most one
+// token per place (the largest post-arc weight for non-ordinary nets),
+// so counts never exceed max(token_bound + max arc gain, max initial
+// tokens). Field widths are rounded up
 // to a power of two so no field straddles a 64-bit word boundary and
 // every access is two shifts and a mask.
 //

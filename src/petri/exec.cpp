@@ -5,8 +5,30 @@
 namespace camad::petri {
 
 bool is_enabled(const Net& net, const Marking& m, TransitionId t) {
-  for (PlaceId p : net.pre(t)) {
-    if (m.tokens(p) == 0) return false;
+  const std::vector<PlaceId>& pre = net.pre(t);
+  if (net.is_ordinary()) {
+    for (PlaceId p : pre) {
+      if (m.tokens(p) == 0) return false;
+    }
+    return true;
+  }
+  // Weighted (multiset) pre-set: place p must carry at least as many
+  // tokens as its multiplicity among the entries. Pre-sets are tiny, so
+  // the quadratic count beats allocating a scratch histogram.
+  for (std::size_t i = 0; i < pre.size(); ++i) {
+    bool counted_before = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (pre[j] == pre[i]) {
+        counted_before = true;
+        break;
+      }
+    }
+    if (counted_before) continue;
+    std::uint32_t need = 1;
+    for (std::size_t j = i + 1; j < pre.size(); ++j) {
+      if (pre[j] == pre[i]) ++need;
+    }
+    if (m.tokens(pre[i]) < need) return false;
   }
   return true;
 }

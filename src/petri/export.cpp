@@ -1,5 +1,6 @@
 #include "petri/export.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/dot.h"
@@ -77,15 +78,35 @@ std::string to_pnml(const Net& net, std::string_view net_id) {
        << "</text></name>\n";
     os << "      </transition>\n";
   }
+  // Weighted arcs are stored as duplicate multiset entries; collapse each
+  // (source, target) pair to one <arc> carrying an <inscription> so the
+  // output is a well-formed P/T net (the importer accepts both spellings).
   std::size_t arc = 0;
-  for (TransitionId t : net.transitions()) {
-    for (PlaceId p : net.pre(t)) {
-      os << "      <arc id=\"a" << arc++ << "\" source=\"p" << p.value()
-         << "\" target=\"t" << t.value() << "\"/>\n";
+  std::vector<PlaceId> seen;
+  const auto emit_arc = [&](const std::string& source,
+                            const std::string& target, std::uint32_t weight) {
+    os << "      <arc id=\"a" << arc++ << "\" source=\"" << source
+       << "\" target=\"" << target << "\"";
+    if (weight > 1) {
+      os << ">\n        <inscription><text>" << weight
+         << "</text></inscription>\n      </arc>\n";
+    } else {
+      os << "/>\n";
     }
+  };
+  for (TransitionId t : net.transitions()) {
+    const std::string tn = "t" + std::to_string(t.value());
+    seen.clear();
+    for (PlaceId p : net.pre(t)) {
+      if (std::find(seen.begin(), seen.end(), p) != seen.end()) continue;
+      seen.push_back(p);
+      emit_arc("p" + std::to_string(p.value()), tn, net.arc_weight(p, t));
+    }
+    seen.clear();
     for (PlaceId p : net.post(t)) {
-      os << "      <arc id=\"a" << arc++ << "\" source=\"t" << t.value()
-         << "\" target=\"p" << p.value() << "\"/>\n";
+      if (std::find(seen.begin(), seen.end(), p) != seen.end()) continue;
+      seen.push_back(p);
+      emit_arc(tn, "p" + std::to_string(p.value()), net.arc_weight(t, p));
     }
   }
   os << "    </page>\n  </net>\n</pnml>\n";

@@ -24,30 +24,48 @@ TransitionId Net::add_transition(std::string name) {
   return id;
 }
 
-void Net::connect(PlaceId from, TransitionId to) {
+void Net::connect(PlaceId from, TransitionId to, std::uint32_t weight) {
   if (from.index() >= places_.size() || to.index() >= transitions_.size()) {
     throw ModelError("Net::connect: id out of range");
   }
+  if (weight == 0) throw ModelError("Net::connect: zero arc weight");
   auto& pre = transitions_[to.index()].pre;
   if (std::find(pre.begin(), pre.end(), from) != pre.end()) {
     throw ModelError("Net::connect: duplicate arc " + name(from) + " -> " +
                      name(to));
   }
-  pre.push_back(from);
-  places_[from.index()].post.push_back(to);
+  for (std::uint32_t k = 0; k < weight; ++k) {
+    pre.push_back(from);
+    places_[from.index()].post.push_back(to);
+  }
+  if (weight > 1) ordinary_ = false;
 }
 
-void Net::connect(TransitionId from, PlaceId to) {
+void Net::connect(TransitionId from, PlaceId to, std::uint32_t weight) {
   if (from.index() >= transitions_.size() || to.index() >= places_.size()) {
     throw ModelError("Net::connect: id out of range");
   }
+  if (weight == 0) throw ModelError("Net::connect: zero arc weight");
   auto& post = transitions_[from.index()].post;
   if (std::find(post.begin(), post.end(), to) != post.end()) {
     throw ModelError("Net::connect: duplicate arc " + name(from) + " -> " +
                      name(to));
   }
-  post.push_back(to);
-  places_[to.index()].pre.push_back(from);
+  for (std::uint32_t k = 0; k < weight; ++k) {
+    post.push_back(to);
+    places_[to.index()].pre.push_back(from);
+  }
+  if (weight > 1) ordinary_ = false;
+}
+
+std::uint32_t Net::arc_weight(PlaceId from, TransitionId to) const {
+  const auto& pre = transitions_[to.index()].pre;
+  return static_cast<std::uint32_t>(std::count(pre.begin(), pre.end(), from));
+}
+
+std::uint32_t Net::arc_weight(TransitionId from, PlaceId to) const {
+  const auto& post = transitions_[from.index()].post;
+  return static_cast<std::uint32_t>(std::count(post.begin(), post.end(), to));
 }
 
 void Net::set_initial_tokens(PlaceId place, std::uint32_t tokens) {

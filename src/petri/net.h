@@ -22,9 +22,21 @@ class Net {
   PlaceId add_place(std::string name = {});
   TransitionId add_transition(std::string name = {});
 
-  /// Flow arcs. Duplicate arcs are rejected (ordinary net, weight 1).
-  void connect(PlaceId from, TransitionId to);
-  void connect(TransitionId from, PlaceId to);
+  /// Flow arcs. Repeating a connect call for the same (from, to) pair is
+  /// rejected; a weight > 1 (P/T-net arc inscription, as in imported PNML
+  /// nets) stores the arc as `weight` multiset entries in the pre/post
+  /// vectors, so firing consumes/produces `weight` tokens per entry-free
+  /// loop and the incidence matrix accumulates the weighted effect.
+  void connect(PlaceId from, TransitionId to, std::uint32_t weight = 1);
+  void connect(TransitionId from, PlaceId to, std::uint32_t weight = 1);
+
+  /// Multiplicity of the arc (0 = absent, 1 = ordinary, >1 = weighted).
+  [[nodiscard]] std::uint32_t arc_weight(PlaceId from, TransitionId to) const;
+  [[nodiscard]] std::uint32_t arc_weight(TransitionId from, PlaceId to) const;
+
+  /// True while every arc has weight 1 — the common case every
+  /// self-generated net satisfies; enabling checks take a fast path.
+  [[nodiscard]] bool is_ordinary() const { return ordinary_; }
 
   void set_initial_tokens(PlaceId place, std::uint32_t tokens);
 
@@ -86,6 +98,7 @@ class Net {
 
   std::vector<Place> places_;
   std::vector<Transition> transitions_;
+  bool ordinary_ = true;
 };
 
 }  // namespace camad::petri

@@ -1,0 +1,540 @@
+#include "petri/pnml.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace camad::petri {
+namespace {
+
+constexpr std::size_t kMaxDepth = 64;
+
+// ---------------------------------------------------------------------------
+// Minimal XML tree parser. Handles exactly what PNML documents in the wild
+// need — elements, attributes, character data, entity references, CDATA,
+// comments, processing instructions, a DOCTYPE prolog — and nothing more.
+// Namespace prefixes are stripped (PNML tools disagree on them), positions
+// are tracked for error messages, and nesting depth is bounded.
+// ---------------------------------------------------------------------------
+
+struct XmlNode {
+  std::string name;  ///< local name (namespace prefix stripped)
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<XmlNode> children;
+  std::string text;  ///< concatenated character data
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] const std::string* attr(std::string_view key) const {
+    for (const auto& [k, v] : attrs) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const XmlNode* child(std::string_view tag) const {
+    for (const XmlNode& c : children) {
+      if (c.name == tag) return &c;
+    }
+    return nullptr;
+  }
+};
+
+bool is_xml_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+std::string strip_prefix(std::string name) {
+  const std::size_t colon = name.rfind(':');
+  if (colon == std::string::npos) return name;
+  return name.substr(colon + 1);
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : src_(text) {}
+
+  XmlNode parse_document() {
+    skip_misc();
+    if (eof() || peek() != '<') fail("expected a root element");
+    XmlNode root = parse_element(0);
+    skip_misc();
+    if (!eof()) fail("trailing content after the root element");
+    return root;
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("pnml: " + what, line_, col_);
+  }
+  [[nodiscard]] bool eof() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek() const { return src_[pos_]; }
+  [[nodiscard]] bool lookahead(std::string_view s) const {
+    return src_.substr(pos_, s.size()) == s;
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  void advance_over(std::string_view s) {
+    for (std::size_t i = 0; i < s.size(); ++i) advance();
+  }
+  void expect(char c, const char* what) {
+    if (eof() || peek() != c) fail(std::string("expected ") + what);
+    advance();
+  }
+  void skip_ws() {
+    while (!eof() && is_xml_space(peek())) advance();
+  }
+  void skip_until(std::string_view end, const char* what) {
+    while (!eof()) {
+      if (lookahead(end)) {
+        advance_over(end);
+        return;
+      }
+      advance();
+    }
+    fail(std::string("unterminated ") + what);
+  }
+  /// DOCTYPE declarations may carry an internal subset in brackets.
+  void skip_doctype() {
+    int brackets = 0;
+    while (!eof()) {
+      const char c = advance();
+      if (c == '[') ++brackets;
+      if (c == ']') --brackets;
+      if (c == '>' && brackets <= 0) return;
+    }
+    fail("unterminated DOCTYPE declaration");
+  }
+  /// Prolog / between-element misc: whitespace, comments, PIs, DOCTYPE.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (lookahead("<?")) {
+        advance_over("<?");
+        skip_until("?>", "processing instruction");
+      } else if (lookahead("<!--")) {
+        advance_over("<!--");
+        skip_until("-->", "comment");
+      } else if (lookahead("<!DOCTYPE")) {
+        advance_over("<!DOCTYPE");
+        skip_doctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    if (eof() || !is_name_start(peek())) fail("expected a name");
+    std::string out;
+    while (!eof() && is_name_char(peek())) out.push_back(advance());
+    return out;
+  }
+
+  void decode_entity(std::string& out) {
+    advance();  // '&'
+    std::string ent;
+    while (!eof() && peek() != ';') {
+      if (ent.size() >= 10) fail("malformed entity reference");
+      ent.push_back(advance());
+    }
+    if (eof()) fail("unterminated entity reference");
+    advance();  // ';'
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (ent.size() >= 2 && ent[0] == '#') {
+      std::uint64_t cp = 0;
+      bool any = false;
+      if (ent[1] == 'x' || ent[1] == 'X') {
+        for (std::size_t i = 2; i < ent.size(); ++i) {
+          const char c = ent[i];
+          std::uint64_t d = 0;
+          if (c >= '0' && c <= '9') {
+            d = static_cast<std::uint64_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            d = static_cast<std::uint64_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            d = static_cast<std::uint64_t>(c - 'A' + 10);
+          } else {
+            fail("bad character reference &" + ent + ";");
+          }
+          cp = cp * 16 + d;
+          any = true;
+        }
+      } else {
+        for (std::size_t i = 1; i < ent.size(); ++i) {
+          const char c = ent[i];
+          if (c < '0' || c > '9') fail("bad character reference &" + ent + ";");
+          cp = cp * 10 + static_cast<std::uint64_t>(c - '0');
+          any = true;
+        }
+      }
+      if (!any || cp == 0 || cp > 0x10FFFF) {
+        fail("character reference &" + ent + "; out of range");
+      }
+      append_utf8(out, static_cast<std::uint32_t>(cp));
+    } else {
+      fail("unknown entity &" + ent + ";");
+    }
+  }
+
+  XmlNode parse_element(std::size_t depth) {
+    if (depth > kMaxDepth) fail("element nesting too deep");
+    XmlNode node;
+    node.line = line_;
+    node.col = col_;
+    expect('<', "'<'");
+    node.name = strip_prefix(parse_name());
+
+    // Attributes, then '>' or self-close '/>'.
+    for (;;) {
+      skip_ws();
+      if (eof()) fail("unterminated start tag <" + node.name + ">");
+      if (peek() == '/') {
+        advance();
+        expect('>', "'>' after '/'");
+        return node;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      std::string key = strip_prefix(parse_name());
+      skip_ws();
+      expect('=', "'=' in attribute");
+      skip_ws();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        fail("expected quoted attribute value");
+      }
+      const char quote = advance();
+      std::string value;
+      while (!eof() && peek() != quote) {
+        if (peek() == '<') fail("'<' in attribute value");
+        if (peek() == '&') {
+          decode_entity(value);
+        } else {
+          value.push_back(advance());
+        }
+      }
+      if (eof()) fail("unterminated attribute value");
+      advance();
+      node.attrs.emplace_back(std::move(key), std::move(value));
+    }
+
+    // Content until the matching end tag.
+    for (;;) {
+      if (eof()) fail("unterminated element <" + node.name + ">");
+      if (lookahead("</")) {
+        advance_over("</");
+        const std::string end = strip_prefix(parse_name());
+        if (end != node.name) {
+          fail("mismatched end tag </" + end + "> closing <" + node.name + ">");
+        }
+        skip_ws();
+        expect('>', "'>'");
+        return node;
+      }
+      if (lookahead("<!--")) {
+        advance_over("<!--");
+        skip_until("-->", "comment");
+        continue;
+      }
+      if (lookahead("<![CDATA[")) {
+        advance_over("<![CDATA[");
+        while (!eof() && !lookahead("]]>")) node.text.push_back(advance());
+        if (eof()) fail("unterminated CDATA section");
+        advance_over("]]>");
+        continue;
+      }
+      if (lookahead("<?")) {
+        advance_over("<?");
+        skip_until("?>", "processing instruction");
+        continue;
+      }
+      if (lookahead("<!")) fail("unexpected markup declaration in content");
+      if (peek() == '<') {
+        node.children.push_back(parse_element(depth + 1));
+        continue;
+      }
+      if (peek() == '&') {
+        decode_entity(node.text);
+        continue;
+      }
+      node.text.push_back(advance());
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PNML interpretation.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void fail_at(const XmlNode& node, const std::string& what) {
+  throw ParseError("pnml: " + what, node.line, node.col);
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_xml_space(s[b])) ++b;
+  while (e > b && is_xml_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+/// `<label><text>VALUE</text></label>` — the PNML annotation shape shared
+/// by name, initialMarking, and inscription. Returns nullptr when the
+/// label (or its text child) is absent.
+const std::string* label_text(const XmlNode& node, std::string_view label) {
+  const XmlNode* l = node.child(label);
+  if (l == nullptr) return nullptr;
+  const XmlNode* t = l->child("text");
+  if (t == nullptr) return nullptr;
+  return &t->text;
+}
+
+std::uint32_t parse_count(const XmlNode& at, const std::string& raw,
+                          std::uint32_t max, const char* what) {
+  const std::string digits = trimmed(raw);
+  if (digits.empty()) fail_at(at, std::string(what) + " is empty");
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      fail_at(at, std::string(what) + " '" + digits + "' is not a number");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > max) {
+      fail_at(at, std::string(what) + " '" + digits + "' exceeds the limit of " +
+                      std::to_string(max));
+    }
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+struct NetBuilder {
+  Net net;
+  /// id -> (kind 'p'/'t', index).
+  std::unordered_map<std::string, std::pair<char, std::uint32_t>> ids;
+  struct Arc {
+    std::string source;
+    std::string target;
+    std::uint64_t weight = 0;
+    int line = 0;
+    int col = 0;
+  };
+  std::vector<Arc> arcs;  ///< document order, duplicates merged
+  std::unordered_map<std::string, std::size_t> arc_slot;
+
+  std::string require_id(const XmlNode& node) {
+    const std::string* id = node.attr("id");
+    if (id == nullptr || id->empty()) {
+      fail_at(node, "<" + node.name + "> is missing an id attribute");
+    }
+    if (ids.count(*id) != 0) fail_at(node, "duplicate id '" + *id + "'");
+    return *id;
+  }
+
+  void add_place(const XmlNode& node) {
+    const std::string id = require_id(node);
+    const std::string* name = label_text(node, "name");
+    const PlaceId p = net.add_place(name != nullptr ? *name : std::string());
+    if (const std::string* marking = label_text(node, "initialMarking")) {
+      net.set_initial_tokens(
+          p, parse_count(node, *marking, kMaxPnmlInitialTokens,
+                         "initial marking"));
+    }
+    ids.emplace(id, std::make_pair('p', p.value()));
+  }
+
+  void add_transition(const XmlNode& node) {
+    const std::string id = require_id(node);
+    const std::string* name = label_text(node, "name");
+    const TransitionId t =
+        net.add_transition(name != nullptr ? *name : std::string());
+    ids.emplace(id, std::make_pair('t', t.value()));
+  }
+
+  void add_arc(const XmlNode& node) {
+    const std::string* id = node.attr("id");
+    if (id == nullptr || id->empty()) {
+      fail_at(node, "<arc> is missing an id attribute");
+    }
+    const std::string* source = node.attr("source");
+    const std::string* target = node.attr("target");
+    if (source == nullptr || source->empty()) {
+      fail_at(node, "<arc id=\"" + *id + "\"> is missing a source");
+    }
+    if (target == nullptr || target->empty()) {
+      fail_at(node, "<arc id=\"" + *id + "\"> is missing a target");
+    }
+    std::uint32_t weight = 1;
+    if (const std::string* inscription = label_text(node, "inscription")) {
+      weight =
+          parse_count(node, *inscription, kMaxPnmlArcWeight, "arc weight");
+      if (weight == 0) fail_at(node, "arc weight 0 on arc '" + *id + "'");
+    }
+    // Duplicate (source, target) arcs — the pre-inscription spelling of a
+    // weighted arc — accumulate into the first occurrence.
+    const std::string key = *source + '\x1f' + *target;
+    const auto [it, inserted] = arc_slot.emplace(key, arcs.size());
+    if (inserted) {
+      arcs.push_back(Arc{*source, *target, weight, node.line, node.col});
+    } else {
+      arcs[it->second].weight += weight;
+    }
+  }
+
+  /// Walks a `<net>` or `<page>`: net objects may sit at either level,
+  /// and pages nest. Unknown elements (graphics, toolspecific, ...) are
+  /// skipped; reference nodes are outside the P/T fragment.
+  void walk(const XmlNode& node) {
+    for (const XmlNode& child : node.children) {
+      if (child.name == "place") {
+        add_place(child);
+      } else if (child.name == "transition") {
+        add_transition(child);
+      } else if (child.name == "arc") {
+        add_arc(child);
+      } else if (child.name == "page") {
+        walk(child);
+      } else if (child.name == "referencePlace" ||
+                 child.name == "referenceTransition") {
+        fail_at(child, "<" + child.name + "> is not supported (P/T fragment only)");
+      }
+    }
+  }
+
+  void connect_arcs() {
+    for (const Arc& arc : arcs) {
+      const auto fail_arc = [&](const std::string& what) {
+        throw ParseError("pnml: " + what, arc.line, arc.col);
+      };
+      const auto source = ids.find(arc.source);
+      const auto target = ids.find(arc.target);
+      if (source == ids.end()) {
+        fail_arc("arc source '" + arc.source + "' does not exist");
+      }
+      if (target == ids.end()) {
+        fail_arc("arc target '" + arc.target + "' does not exist");
+      }
+      if (arc.weight > kMaxPnmlArcWeight) {
+        fail_arc("accumulated arc weight " + std::to_string(arc.weight) +
+                 " exceeds the limit of " + std::to_string(kMaxPnmlArcWeight));
+      }
+      const auto weight = static_cast<std::uint32_t>(arc.weight);
+      if (source->second.first == 'p' && target->second.first == 't') {
+        net.connect(PlaceId(source->second.second),
+                    TransitionId(target->second.second), weight);
+      } else if (source->second.first == 't' && target->second.first == 'p') {
+        net.connect(TransitionId(source->second.second),
+                    PlaceId(target->second.second), weight);
+      } else {
+        fail_arc("arc '" + arc.source + "' -> '" + arc.target +
+                 "' must connect a place and a transition");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+PnmlImport from_pnml(std::string_view text) {
+  XmlParser parser(text);
+  const XmlNode root = parser.parse_document();
+  if (root.name != "pnml") {
+    fail_at(root, "root element is <" + root.name + ">, expected <pnml>");
+  }
+  const XmlNode* net_node = root.child("net");
+  if (net_node == nullptr) fail_at(root, "document has no <net> element");
+
+  PnmlImport out;
+  if (const std::string* id = net_node->attr("id")) out.net_id = *id;
+  if (const std::string* type = net_node->attr("type")) out.net_type = *type;
+
+  NetBuilder builder;
+  builder.walk(*net_node);
+  builder.connect_arcs();
+  out.net = std::move(builder.net);
+  return out;
+}
+
+bool same_structure(const Net& a, const Net& b) {
+  if (a.place_count() != b.place_count() ||
+      a.transition_count() != b.transition_count()) {
+    return false;
+  }
+  for (PlaceId p : a.places()) {
+    if (a.name(p) != b.name(p) ||
+        a.initial_tokens(p) != b.initial_tokens(p)) {
+      return false;
+    }
+  }
+  const auto sorted_values = [](const std::vector<PlaceId>& ids) {
+    std::vector<std::uint32_t> out;
+    out.reserve(ids.size());
+    for (PlaceId p : ids) out.push_back(p.value());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (TransitionId t : a.transitions()) {
+    if (a.name(t) != b.name(t)) return false;
+    if (sorted_values(a.pre(t)) != sorted_values(b.pre(t)) ||
+        sorted_values(a.post(t)) != sorted_values(b.post(t))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace camad::petri

@@ -1,0 +1,51 @@
+// PNML (ISO/IEC 15909-2) Place/Transition-net import.
+//
+// `from_pnml` is the exact inverse of `to_pnml`: a dependency-free reader
+// for the P/T-net core of the standard — places, transitions, arcs with
+// `<inscription>` weights, `<initialMarking>`, `<name>` labels, and nested
+// `<page>` structure. It accepts documents produced by other tools (Model
+// Checking Contest instances, ltsmin, TINA, ...) as long as they stay in
+// the P/T fragment: high-level annotations and reference nodes are
+// rejected with a structured error, and unknown elements (graphics,
+// toolspecific extensions) are skipped.
+//
+// The reader never crashes on malformed input: every failure — truncated
+// XML, bad entities, missing ids, dangling arc endpoints, oversized
+// weights — throws ParseError with a line:column position.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "petri/net.h"
+
+namespace camad::petri {
+
+/// Largest accepted `<inscription>` arc weight. Weighted arcs are stored
+/// as that many multiset entries, so an absurd weight would be a memory
+/// amplification vector; real P/T benchmarks stay far below this.
+inline constexpr std::uint32_t kMaxPnmlArcWeight = 4096;
+
+/// Largest accepted `<initialMarking>` token count.
+inline constexpr std::uint32_t kMaxPnmlInitialTokens = 1U << 20;
+
+/// Result of importing a PNML document (the first `<net>` element).
+struct PnmlImport {
+  Net net;
+  std::string net_id;    ///< `id` attribute of the `<net>` element
+  std::string net_type;  ///< `type` attribute (empty when absent)
+};
+
+/// Parses PNML text into a marked net. Place/transition order follows
+/// document order; arcs connect in document order with duplicate
+/// (source, target) arcs accumulated into one weighted arc, so feeding
+/// `to_pnml` output back through yields an identical structure.
+/// Throws ParseError (with position) on any malformed input.
+PnmlImport from_pnml(std::string_view text);
+
+/// Structural equality up to arc-entry interleaving: same counts, names,
+/// initial tokens, and per-transition pre/post multisets. This is the
+/// isomorphism the PNML round-trip property asserts.
+[[nodiscard]] bool same_structure(const Net& a, const Net& b);
+
+}  // namespace camad::petri

@@ -10,6 +10,8 @@
 #include "dcf/check.h"
 #include "dcf/io.h"
 #include "gen/program.h"
+#include "petri/export.h"
+#include "petri/pnml.h"
 #include "synth/ast.h"
 #include "synth/compile.h"
 #include "synth/lexer.h"
@@ -159,6 +161,150 @@ TEST_P(StructuredFuzz, TruncatedGeneratedProgramsFailCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StructuredFuzz,
                          ::testing::Range<std::uint64_t>(0, 5));
+
+// --- PNML reader fuzzing ------------------------------------------------------
+//
+// The PNML importer consumes files produced by arbitrary external tools,
+// so its contract is the strictest: any byte sequence either parses into
+// a net or throws ParseError — never a crash, hang, or other exception
+// type (the suite runs under ASan/UBSan in CI to catch leaks and UB).
+
+/// A representative valid document exercising every construct the reader
+/// supports: prolog, comments, pages, names, markings, inscriptions,
+/// entities, CDATA, unknown elements.
+const char* kValidPnml = R"(<?xml version="1.0" encoding="UTF-8"?>
+<!-- corpus sample -->
+<pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml">
+  <net id="fuzz-seed" type="http://www.pnml.org/version-2009/grammar/ptnet">
+    <page id="page0">
+      <place id="p0">
+        <name><text>lock &amp; key</text></name>
+        <initialMarking><text>2</text></initialMarking>
+        <graphics><position x="1" y="2"/></graphics>
+      </place>
+      <place id="p1"><name><text><![CDATA[raw <text>]]></text></name></place>
+      <transition id="t0"><name><text>go&#33;</text></name></transition>
+      <arc id="a0" source="p0" target="t0">
+        <inscription><text>2</text></inscription>
+      </arc>
+      <arc id="a1" source="t0" target="p1"/>
+      <page id="sub"><place id="p2"/></page>
+      <arc id="a2" source="t0" target="p2"/>
+    </page>
+  </net>
+</pnml>
+)";
+
+/// Runs the reader; only ParseError (or another typed Error) may escape.
+void pnml_must_not_crash(const std::string& text) {
+  try {
+    const petri::PnmlImport imported = petri::from_pnml(text);
+    // Whatever parses must round-trip through the exporter without
+    // throwing — the imported net is structurally sound.
+    (void)petri::to_pnml(imported.net);
+  } catch (const ParseError&) {
+  } catch (const Error&) {
+  }
+}
+
+class PnmlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PnmlFuzz, ValidDocumentParses) {
+  const petri::PnmlImport imported = petri::from_pnml(kValidPnml);
+  EXPECT_EQ(imported.net_id, "fuzz-seed");
+  EXPECT_EQ(imported.net.place_count(), 3u);
+  EXPECT_EQ(imported.net.name(petri::PlaceId(0)), "lock & key");
+  EXPECT_EQ(imported.net.name(petri::PlaceId(1)), "raw <text>");
+  EXPECT_EQ(imported.net.name(petri::TransitionId(0)), "go!");
+  EXPECT_EQ(
+      imported.net.arc_weight(petri::PlaceId(0), petri::TransitionId(0)), 2u);
+}
+
+TEST_P(PnmlFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam() * 7919);
+  for (int trial = 0; trial < 50; ++trial) {
+    pnml_must_not_crash(random_bytes(rng, 20 + rng.below(300)));
+  }
+}
+
+TEST_P(PnmlFuzz, XmlTokenSoupNeverCrashes) {
+  static const char* kTokens[] = {
+      "<pnml>",       "</pnml>",    "<net",          "</net>",
+      "<page",        "</page>",    "<place",        "</place>",
+      "<transition",  "/>",         ">",             "<arc",
+      "id=\"p0\"",    "id=\"t0\"",  "source=\"p0\"", "target=\"t0\"",
+      "<text>",       "</text>",    "<name>",        "</name>",
+      "<inscription>","</inscription>", "<initialMarking>", "42",
+      "&amp;",        "&#60;",      "<!--",          "-->",
+      "<![CDATA[",    "]]>",        "<?pi",          "?>",
+      "\"",           "=",          "xmlns:x=\"u\"", "<x:place"};
+  Rng rng(GetParam() * 104729);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string soup;
+    const std::size_t count = 5 + rng.below(60);
+    for (std::size_t i = 0; i < count; ++i) {
+      soup += kTokens[rng.below(std::size(kTokens))];
+      if (rng.below(3) == 0) soup += ' ';
+    }
+    pnml_must_not_crash(soup);
+  }
+}
+
+TEST_P(PnmlFuzz, TruncationsFailCleanly) {
+  const std::string valid = kValidPnml;
+  Rng rng(GetParam() * 31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t cut = 1 + rng.below(valid.size() - 1);
+    pnml_must_not_crash(valid.substr(0, cut));
+  }
+}
+
+TEST_P(PnmlFuzz, SingleCharMutationsFailCleanly) {
+  const std::string valid = kValidPnml;
+  Rng rng(GetParam() * 2741);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = valid;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] = static_cast<char>(32 + rng.below(95));
+    pnml_must_not_crash(mutated);
+  }
+}
+
+TEST_P(PnmlFuzz, HostileShapesFailCleanly) {
+  // Hand-picked adversarial documents: huge weights and markings, deep
+  // nesting, dangling references, duplicate ids, unclosed structures.
+  const std::string deep_open(200, '<');
+  std::string nested;
+  for (int i = 0; i < 100; ++i) nested += "<page id=\"x" + std::to_string(i) + "\">";
+  const std::string cases[] = {
+      "",
+      "   ",
+      "<",
+      "<?xml version=\"1.0\"?>",
+      "<pnml><net id=\"n\"><place id=\"p\"><initialMarking><text>"
+      "99999999999999999999</text></initialMarking></place></net></pnml>",
+      "<pnml><net id=\"n\"><place id=\"p\"/><transition id=\"t\"/>"
+      "<arc id=\"a\" source=\"p\" target=\"t\"><inscription><text>"
+      "18446744073709551616</text></inscription></arc></net></pnml>",
+      "<pnml><net id=\"n\"><arc id=\"a\" source=\"x\" target=\"y\"/>"
+      "</net></pnml>",
+      "<pnml><net id=\"n\"><place id=\"p\"/><place id=\"p\"/></net></pnml>",
+      "<pnml><net id=\"n\"><place id=\"p\" id=\"q\"/></net></pnml>",
+      "<pnml><net id=\"n\"><place id=\"&unknown;\"/></net></pnml>",
+      "<pnml><net id=\"n\"><place id=\"&#xFFFFFFFFF;\"/></net></pnml>",
+      "<pnml><net id=\"n\"><!DOCTYPE inside></net></pnml>",
+      deep_open,
+      "<pnml><net id=\"n\">" + nested,
+      std::string(kValidPnml) + "<trailing/>",
+  };
+  for (const std::string& text : cases) pnml_must_not_crash(text);
+  // Deep nesting within the limit parses; beyond it must throw, not
+  // overflow the stack.
+  EXPECT_THROW(petri::from_pnml("<pnml><net id=\"n\">" + nested), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PnmlFuzz,
+                         ::testing::Range<std::uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace camad

@@ -8,9 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
 #include "dcf/system.h"
 #include "gen/sysgen.h"
 #include "mc/checker.h"
+#include "petri/pnml.h"
 #include "petri/reachability.h"
 
 namespace camad {
@@ -79,6 +86,75 @@ TEST_P(McDiffDeterminism, VerdictsStableAcrossThreadCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, McDiffDeterminism,
                          ::testing::Range<std::uint64_t>(0, 4));
+
+// --- external corpus differential -------------------------------------------
+//
+// The generator sweeps above are still self-play: both engines explore
+// nets this codebase built. The designs/pnml corpus brings in nets we
+// did not construct (hand-transcribed standard model families, including
+// weighted arcs the generator never emits); the same bit-identity and
+// thread-invariance contracts must hold there too.
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  const std::filesystem::path dir(CAMAD_PNML_DIR);
+  if (!std::filesystem::exists(dir)) return files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".pnml") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+petri::Net load_corpus_net(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return petri::from_pnml(os.str()).net;
+}
+
+TEST(McCorpusDiff, ImportedNetsMatchExplorerBitForBit) {
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 6u) << "corpus missing from " << CAMAD_PNML_DIR;
+  for (const auto& path : files) {
+    const std::string label = path.stem().string();
+    const petri::Net net = load_corpus_net(path);
+
+    petri::ReachabilityOptions ro;
+    const petri::ConcurrencyRelation ref =
+        petri::concurrent_places_bounded(net, ro);
+
+    mc::McOptions opt;
+    opt.max_states = ro.max_markings;
+    opt.token_bound = ro.token_bound;
+    const mc::McResult out = mc::model_check(net, opt);
+
+    ASSERT_TRUE(ref.exploration.complete) << label;
+    ASSERT_TRUE(out.complete) << label;
+    ASSERT_EQ(out.safe, ref.exploration.safe) << label;
+    ASSERT_EQ(out.bounded, ref.exploration.bounded) << label;
+    ASSERT_EQ(out.deadlock, ref.exploration.deadlock) << label;
+    ASSERT_EQ(out.can_terminate, ref.exploration.can_terminate) << label;
+    ASSERT_EQ(out.marking_count, ref.exploration.marking_count) << label;
+    ASSERT_EQ(out.state_count, out.marking_count) << label;
+    ASSERT_EQ(out.concurrency, ref.concurrent) << label;
+  }
+}
+
+TEST(McCorpusDiff, ImportedNetVerdictsStableAcrossThreadCounts) {
+  for (const auto& path : corpus_files()) {
+    const std::string label = path.stem().string();
+    const petri::Net net = load_corpus_net(path);
+    mc::McOptions opt;
+    opt.threads = 1;
+    const mc::McResult one = mc::model_check(net, opt);
+    for (const std::size_t threads : {2UL, 8UL}) {
+      opt.threads = threads;
+      ASSERT_TRUE(mc::same_verdicts(one, mc::model_check(net, opt)))
+          << label << " diverges at " << threads << " threads";
+    }
+  }
+}
 
 }  // namespace
 }  // namespace camad

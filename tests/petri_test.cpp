@@ -1,12 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dcf/io.h"
+#include "gen/sysgen.h"
 #include "petri/exec.h"
 #include "petri/export.h"
 #include "petri/invariants.h"
 #include "petri/marking.h"
 #include "petri/net.h"
 #include "petri/order.h"
+#include "petri/pnml.h"
 #include "petri/reachability.h"
+#include "synth/compile.h"
 #include "util/error.h"
 
 namespace camad::petri {
@@ -479,6 +487,286 @@ TEST(Export, PnmlEscapesNames) {
   const std::string pnml = to_pnml(net);
   EXPECT_NE(pnml.find("a&lt;b&amp;c"), std::string::npos);
 }
+
+/// Weighted net: assemble consumes 2 parts + the machine, recycle melts a
+/// widget back into 2 parts.
+Net weighted_assembly() {
+  Net net;
+  const PlaceId parts = net.add_place("parts");
+  const PlaceId machine = net.add_place("machine");
+  const PlaceId widgets = net.add_place("widgets");
+  const TransitionId assemble = net.add_transition("assemble");
+  const TransitionId recycle = net.add_transition("recycle");
+  net.connect(parts, assemble, 2);
+  net.connect(machine, assemble);
+  net.connect(assemble, machine);
+  net.connect(assemble, widgets);
+  net.connect(widgets, recycle);
+  net.connect(recycle, parts, 2);
+  net.set_initial_tokens(parts, 4);
+  net.set_initial_tokens(machine, 1);
+  return net;
+}
+
+TEST(Net, WeightedArcs) {
+  const Net net = weighted_assembly();
+  EXPECT_FALSE(net.is_ordinary());
+  EXPECT_TRUE(linear3().is_ordinary());
+  EXPECT_EQ(net.arc_weight(PlaceId(0), TransitionId(0)), 2u);
+  EXPECT_EQ(net.arc_weight(PlaceId(1), TransitionId(0)), 1u);
+  EXPECT_EQ(net.arc_weight(PlaceId(2), TransitionId(0)), 0u);
+  EXPECT_EQ(net.arc_weight(TransitionId(1), PlaceId(0)), 2u);
+  // Weight-w arcs appear as w multiset entries.
+  EXPECT_EQ(net.pre(TransitionId(0)).size(), 3u);
+}
+
+TEST(Net, WeightedConnectRejectsZeroAndDuplicates) {
+  Net net;
+  const PlaceId p = net.add_place();
+  const TransitionId t = net.add_transition();
+  EXPECT_THROW(net.connect(p, t, 0), ModelError);
+  EXPECT_THROW(net.connect(t, p, 0), ModelError);
+  net.connect(p, t, 3);
+  EXPECT_THROW(net.connect(p, t), ModelError);
+  EXPECT_THROW(net.connect(p, t, 2), ModelError);
+}
+
+TEST(Exec, WeightedEnablingNeedsMultiplicity) {
+  const Net net = weighted_assembly();
+  Marking m(net.place_count());
+  m.set_tokens(PlaceId(0), 1);  // one part: not enough for assemble
+  m.set_tokens(PlaceId(1), 1);
+  EXPECT_FALSE(is_enabled(net, m, TransitionId(0)));
+  m.set_tokens(PlaceId(0), 2);
+  EXPECT_TRUE(is_enabled(net, m, TransitionId(0)));
+  const Marking next = fire(net, m, TransitionId(0));
+  EXPECT_EQ(next.tokens(PlaceId(0)), 0u);
+  EXPECT_EQ(next.tokens(PlaceId(1)), 1u);
+  EXPECT_EQ(next.tokens(PlaceId(2)), 1u);
+}
+
+TEST(Exec, WeightedStateSpaceMatchesHandCount) {
+  // parts + 2*widgets = 4 is invariant, machine stays 1: exactly three
+  // reachable markings, no deadlock, never terminating, unsafe (4 > 1).
+  const ReachabilityResult r = explore(weighted_assembly());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.marking_count, 3u);
+  EXPECT_FALSE(r.safe);
+  EXPECT_TRUE(r.bounded);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_FALSE(r.can_terminate);
+}
+
+TEST(Invariants, WeightedIncidenceAccumulates) {
+  const Net net = weighted_assembly();
+  const auto c = incidence_matrix(net);
+  EXPECT_EQ(c[0][0], -2);  // assemble takes 2 parts
+  EXPECT_EQ(c[1][0], 0);   // machine is consumed and reproduced
+  EXPECT_EQ(c[2][0], 1);
+  EXPECT_EQ(c[0][1], 2);   // recycle yields 2 parts
+  // parts + 2*widgets is the conservation law.
+  EXPECT_TRUE(is_p_invariant(net, {1, 0, 2}));
+}
+
+TEST(Export, PnmlWeightedArcGetsInscription) {
+  const std::string pnml = to_pnml(weighted_assembly());
+  EXPECT_NE(pnml.find("<inscription><text>2</text></inscription>"),
+            std::string::npos);
+  // One collapsed arc per (source, target), not duplicate entries.
+  std::size_t arcs = 0;
+  for (std::size_t pos = pnml.find("<arc "); pos != std::string::npos;
+       pos = pnml.find("<arc ", pos + 1)) {
+    ++arcs;
+  }
+  EXPECT_EQ(arcs, 6u);
+}
+
+TEST(Pnml, RoundTripFixtures) {
+  for (const Net& net :
+       {linear3(), forkjoin(), producer(), weighted_assembly()}) {
+    const std::string pnml = to_pnml(net, "fixture");
+    const PnmlImport imported = from_pnml(pnml);
+    EXPECT_EQ(imported.net_id, "fixture");
+    EXPECT_TRUE(same_structure(imported.net, net));
+    // Bit-exact string fixpoint.
+    EXPECT_EQ(to_pnml(imported.net, "fixture"), pnml);
+  }
+}
+
+TEST(Pnml, RoundTripEscapedNames) {
+  Net net;
+  const PlaceId p = net.add_place("a<b&c \"quoted\"");
+  const TransitionId t = net.add_transition("t>u&#38;");
+  net.connect(p, t);
+  net.set_initial_tokens(p, 1);
+  const PnmlImport imported = from_pnml(to_pnml(net));
+  EXPECT_TRUE(same_structure(imported.net, net));
+  EXPECT_EQ(imported.net.name(PlaceId(0)), "a<b&c \"quoted\"");
+}
+
+TEST(Pnml, AcceptsDuplicateArcSpelling) {
+  // Pre-inscription spelling: a weight-2 arc written as two plain arcs.
+  const char* text = R"(<?xml version="1.0"?>
+<pnml><net id="dup"><page id="g">
+  <place id="p"><initialMarking><text>2</text></initialMarking></place>
+  <transition id="t"/>
+  <arc id="a0" source="p" target="t"/>
+  <arc id="a1" source="p" target="t"/>
+</page></net></pnml>)";
+  const PnmlImport imported = from_pnml(text);
+  EXPECT_EQ(imported.net.arc_weight(PlaceId(0), TransitionId(0)), 2u);
+  EXPECT_FALSE(imported.net.is_ordinary());
+}
+
+TEST(Pnml, AcceptsMixedDuplicateAndInscription) {
+  const char* text = R"(<pnml><net id="m"><page id="g">
+  <place id="p"/><transition id="t"/>
+  <arc id="a0" source="p" target="t">
+    <inscription><text>2</text></inscription>
+  </arc>
+  <arc id="a1" source="p" target="t"/>
+</page></net></pnml>)";
+  EXPECT_EQ(from_pnml(text).net.arc_weight(PlaceId(0), TransitionId(0)), 3u);
+}
+
+TEST(Pnml, NodesDirectlyUnderNetAndNestedPages) {
+  const char* text = R"(<pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml">
+<net id="nested" type="http://www.pnml.org/version-2009/grammar/ptnet">
+  <place id="p0"><name><text>root</text></name>
+    <initialMarking><text>1</text></initialMarking></place>
+  <page id="outer">
+    <transition id="t0"/>
+    <page id="inner"><place id="p1"/></page>
+  </page>
+  <arc id="a0" source="p0" target="t0"/>
+  <arc id="a1" source="t0" target="p1"/>
+</net></pnml>)";
+  const PnmlImport imported = from_pnml(text);
+  EXPECT_EQ(imported.net.place_count(), 2u);
+  EXPECT_EQ(imported.net.transition_count(), 1u);
+  EXPECT_EQ(imported.net.name(PlaceId(0)), "root");
+  EXPECT_EQ(imported.net.initial_tokens(PlaceId(0)), 1u);
+  EXPECT_EQ(imported.net.pre(TransitionId(0)).size(), 1u);
+}
+
+TEST(Pnml, IgnoresUnknownElementsAndComments) {
+  const char* text = R"(<?xml version="1.0"?><!-- header -->
+<pnml><net id="x"><page id="g">
+  <place id="p"><graphics><position x="3" y="4"/></graphics>
+    <toolspecific tool="petrify" version="1"><data>junk</data></toolspecific>
+  </place>
+  <transition id="t"/><arc id="a" source="p" target="t"/>
+  <unknownElement attr="1"><nested/></unknownElement>
+</page></net></pnml>)";
+  EXPECT_EQ(from_pnml(text).net.place_count(), 1u);
+}
+
+TEST(Pnml, StructuredErrors) {
+  // Missing id.
+  EXPECT_THROW(from_pnml("<pnml><net id=\"n\"><place/></net></pnml>"),
+               ParseError);
+  // Duplicate id.
+  EXPECT_THROW(
+      from_pnml("<pnml><net id=\"n\"><place id=\"p\"/><transition id=\"p\"/>"
+                "</net></pnml>"),
+      ParseError);
+  // Dangling arc endpoint.
+  EXPECT_THROW(
+      from_pnml("<pnml><net id=\"n\"><place id=\"p\"/>"
+                "<arc id=\"a\" source=\"p\" target=\"ghost\"/></net></pnml>"),
+      ParseError);
+  // Place-to-place arc.
+  EXPECT_THROW(
+      from_pnml("<pnml><net id=\"n\"><place id=\"p\"/><place id=\"q\"/>"
+                "<arc id=\"a\" source=\"p\" target=\"q\"/></net></pnml>"),
+      ParseError);
+  // Oversized weight.
+  EXPECT_THROW(
+      from_pnml("<pnml><net id=\"n\"><place id=\"p\"/><transition id=\"t\"/>"
+                "<arc id=\"a\" source=\"p\" target=\"t\">"
+                "<inscription><text>1000000</text></inscription>"
+                "</arc></net></pnml>"),
+      ParseError);
+  // Reference nodes are outside the P/T fragment.
+  EXPECT_THROW(
+      from_pnml("<pnml><net id=\"n\"><referencePlace id=\"r\" ref=\"p\"/>"
+                "</net></pnml>"),
+      ParseError);
+  // Truncated document.
+  EXPECT_THROW(from_pnml("<pnml><net id=\"n\"><place id=\"p\""), ParseError);
+  // No net at all.
+  EXPECT_THROW(from_pnml("<pnml></pnml>"), ParseError);
+  EXPECT_THROW(from_pnml("<html></html>"), ParseError);
+}
+
+TEST(Pnml, ErrorsCarryPosition) {
+  try {
+    from_pnml("<pnml>\n<net id=\"n\">\n  <place/>\n</net></pnml>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_GT(e.column(), 0);
+  }
+}
+
+/// Round-trips every named design in designs/ (BDL compiled, saved .sys
+/// loaded, corpus .pnml imported) through to_pnml/from_pnml.
+TEST(Pnml, RoundTripNamedDesigns) {
+  const std::filesystem::path designs(CAMAD_DESIGNS_DIR);
+  ASSERT_TRUE(std::filesystem::exists(designs));
+  std::size_t covered = 0;
+  const auto read_file = [](const std::filesystem::path& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  const auto roundtrip = [&](const Net& net, const std::string& label) {
+    const std::string pnml = to_pnml(net, label);
+    const PnmlImport imported = from_pnml(pnml);
+    EXPECT_TRUE(same_structure(imported.net, net)) << label;
+    EXPECT_EQ(to_pnml(imported.net, label), pnml) << label;
+    ++covered;
+  };
+  for (const auto& entry : std::filesystem::directory_iterator(designs)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    const std::string label = entry.path().stem().string();
+    if (ext == ".bdl") {
+      roundtrip(synth::compile_source(read_file(entry.path())).control().net(),
+                label);
+    } else if (ext == ".sys") {
+      roundtrip(dcf::load_system(read_file(entry.path())).control().net(),
+                label);
+    }
+  }
+  for (const auto& entry :
+       std::filesystem::directory_iterator(designs / "pnml")) {
+    if (entry.path().extension() != ".pnml") continue;
+    roundtrip(from_pnml(read_file(entry.path())).net,
+              entry.path().stem().string());
+  }
+  EXPECT_GE(covered, 10u);  // 8 designs + >= 6 corpus instances
+}
+
+/// 500-seed generator sweep (4 shards x 125): from_pnml(to_pnml(net))
+/// must reproduce the control net bit-exactly.
+class PnmlRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PnmlRoundTripSweep, GeneratedControlNets) {
+  const int shard = GetParam();
+  for (int i = 0; i < 125; ++i) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(shard * 125 + i);
+    const dcf::System system = gen::random_system(seed);
+    const Net& net = system.control().net();
+    const std::string pnml = to_pnml(net, system.name());
+    const PnmlImport imported = from_pnml(pnml);
+    ASSERT_TRUE(same_structure(imported.net, net)) << "seed " << seed;
+    ASSERT_EQ(to_pnml(imported.net, system.name()), pnml) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, PnmlRoundTripSweep, ::testing::Range(0, 4));
 
 TEST(Export, DotContainsPlacesAndMarks) {
   const Net net = linear3();

@@ -10,9 +10,21 @@
 //                 [--max-cycles N] [--trace] [--seed S]
 //   camadc verify design.bdl [--threads N] [--max-states M]
 //                 [--token-bound B] [--witness[=FILE]] [--no-guards]
+//                 [--expect safe=yes,deadlock=no,...]
 //   camadc report design.bdl [--trips T]
+//   camadc import net.pnml [--out FILE.sys] [--stub none|reg]
+//   camadc import design.{bdl,sys,pnml} --export-pnml FILE
 //
 // `simulate` and `optimize` are aliases for `sim` and `synth`.
+//
+// Every file-loading command also accepts PNML (ISO/IEC 15909-2 P/T
+// nets): text starting with '<' is parsed with petri::from_pnml and
+// lifted to a System with a synthesized data-path stub, so
+// `camadc verify instance.pnml` model-checks external benchmark nets
+// directly. `verify --expect` compares the checker's verdicts against a
+// comma-separated key=value list (safe, bounded, deadlock, terminates,
+// dead, markings, states; '-' skips a key) and exits 0 only on a
+// complete, fully matching run — the corpus ctest tier is built on it.
 //
 // Telemetry (transform / synth / sim): `--trace[=FILE]` records a
 // Chrome-trace-event timeline (chrome://tracing / Perfetto), default
@@ -33,8 +45,11 @@
 #include <vector>
 
 #include "dcf/check.h"
+#include "gen/lift.h"
 #include "mc/checker.h"
 #include "petri/classify.h"
+#include "petri/export.h"
+#include "petri/pnml.h"
 #include "synth/schedule.h"
 #include "dcf/export.h"
 #include "dcf/io.h"
@@ -96,7 +111,8 @@ struct Args {
 };
 
 constexpr const char* kUsage =
-    "usage: camadc <check|compile|transform|synth|sim|report> file [options]\n"
+    "usage: camadc <check|compile|transform|synth|sim|verify|report|import> "
+    "file [options]\n"
     "  check:     --reachable --strict-rule5\n"
     "  compile:   --out design.sys --no-fold\n"
     "  transform: --parallelize --merge-all --regshare --chain --cleanup\n"
@@ -109,7 +125,10 @@ constexpr const char* kUsage =
     "          --engine compiled|reference|sparse --lanes N\n"
     "  verify: --threads N --max-states M --token-bound B --witness[=FILE] "
     "--no-guards\n"
+    "          --expect safe=yes,bounded=yes,deadlock=no,terminates=no,"
+    "dead=0,markings=N\n"
     "  report: --trips T\n"
+    "  import: --out FILE.sys --stub none|reg --export-pnml FILE\n"
     "  telemetry (transform/synth/sim): --trace[=FILE] "
     "--trace-deterministic --metrics[=FILE]\n"
     "  aliases: simulate = sim, optimize = synth\n";
@@ -124,7 +143,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       "--lambda",  "--max-steps",  "--netlist",     "--dot",   "--in",
       "--vcd",     "--max-cycles", "--seed",        "--trips", "--out",
       "--passes",  "--threads",    "--max-states",  "--token-bound",
-      "--engine",  "--lanes"};
+      "--engine",  "--lanes",      "--expect",      "--stub",
+      "--export-pnml"};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!starts_with(arg, "--")) return std::nullopt;
@@ -224,11 +244,35 @@ struct Telemetry {
   obs::MetricsRegistry metrics;
 };
 
-/// Loads either BDL source or a saved `camad-system v1` file.
+/// Derives a system name from a file path: basename minus extension.
+std::string file_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  const std::size_t begin = slash == std::string::npos ? 0 : slash + 1;
+  std::size_t end = path.rfind('.');
+  if (end == std::string::npos || end <= begin) end = path.size();
+  const std::string stem = path.substr(begin, end - begin);
+  return stem.empty() ? "imported" : stem;
+}
+
+/// Imports a PNML document as a System: control net from the file, data
+/// path synthesized by gen::lift_control_net.
+dcf::System lift_pnml(const std::string& text, const std::string& path,
+                      const gen::LiftOptions& options) {
+  const petri::PnmlImport imported = petri::from_pnml(text);
+  const std::string name =
+      !imported.net_id.empty() ? imported.net_id : file_stem(path);
+  return gen::lift_control_net(imported.net, options, name);
+}
+
+/// Loads BDL source, a saved `camad-system v1` file, or a PNML net
+/// (anything starting with '<').
 dcf::System load_any(const std::string& path) {
   const std::string text = read_file(path);
   if (starts_with(trim(text), "camad-system")) {
     return dcf::load_system(text);
+  }
+  if (starts_with(trim(text), "<")) {
+    return lift_pnml(text, path, gen::LiftOptions{});
   }
   return synth::compile_source(text);
 }
@@ -630,11 +674,101 @@ int cmd_verify(const Args& args) {
   }
   telemetry.finish();
 
+  // --expect mode: the exit status reports agreement with the stated
+  // verdicts (the external-corpus tests pin published results this way),
+  // not the usual "any violation" policy — an expected-unsafe net passes.
+  if (const auto expect = args.option("--expect")) {
+    std::vector<std::string> mismatches;
+    if (!result.complete) {
+      mismatches.push_back("run incomplete (" + result.cutoff_reason + ")");
+    }
+    for (const std::string& item : split(*expect, ',')) {
+      const auto eq = item.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "bad --expect item '" << item << "'\n";
+        return 2;
+      }
+      const std::string key{trim(item.substr(0, eq))};
+      const std::string want{trim(item.substr(eq + 1))};
+      if (want == "-") continue;  // not pinned
+      std::string got;
+      if (key == "safe") {
+        got = result.safe ? "yes" : "no";
+      } else if (key == "bounded") {
+        got = result.bounded ? "yes" : "no";
+      } else if (key == "deadlock") {
+        got = result.deadlock ? "yes" : "no";
+      } else if (key == "terminates") {
+        got = result.can_terminate ? "yes" : "no";
+      } else if (key == "dead") {
+        got = std::to_string(result.dead_transitions.size());
+      } else if (key == "markings") {
+        got = std::to_string(result.marking_count);
+      } else if (key == "states") {
+        got = std::to_string(result.state_count);
+      } else {
+        std::cerr << "unknown --expect key '" << key << "'\n";
+        return 2;
+      }
+      if (got != want) {
+        mismatches.push_back(key + ": expected " + want + ", got " + got);
+      }
+    }
+    for (const std::string& m : mismatches) {
+      std::cout << "expect MISMATCH " << m << '\n';
+    }
+    std::cout << (mismatches.empty() ? "expectations met"
+                                     : "expectations FAILED")
+              << '\n';
+    return mismatches.empty() ? 0 : 1;
+  }
+
   const bool violation = !result.complete || !result.safe ||
                          !result.bounded || result.deadlock ||
                          unguarded_conflicts > 0;
   std::cout << (violation ? "verification FAILED" : "verified") << '\n';
   return violation ? 1 : 0;
+}
+
+int cmd_import(const Args& args) {
+  gen::LiftOptions lift;
+  if (const auto stub = args.option("--stub")) {
+    if (*stub == "none") {
+      lift.stub = gen::StubStyle::kNone;
+    } else if (*stub == "reg") {
+      lift.stub = gen::StubStyle::kRegisterPerState;
+    } else {
+      std::cerr << "unknown stub style '" << *stub
+                << "' (expected none or reg)\n";
+      return 2;
+    }
+  }
+  const std::string text = read_file(args.file);
+  dcf::System system;
+  if (starts_with(trim(text), "<")) {
+    const petri::PnmlImport imported = petri::from_pnml(text);
+    const std::string name =
+        !imported.net_id.empty() ? imported.net_id : file_stem(args.file);
+    system = gen::lift_control_net(imported.net, lift, name);
+    std::cout << name << ": imported " << imported.net.place_count()
+              << " place(s), " << imported.net.transition_count()
+              << " transition(s)"
+              << (imported.net.is_ordinary() ? "" : " (weighted arcs)")
+              << '\n';
+  } else {
+    system = load_any(args.file);
+  }
+  if (const auto path = args.option("--export-pnml")) {
+    write_file(*path, petri::to_pnml(system.control().net(), system.name()));
+    std::cout << "pnml written to " << *path << '\n';
+    // Export-only unless a .sys destination was also requested.
+    if (!args.option("--out").has_value()) return 0;
+  }
+  const std::string out =
+      args.option("--out").value_or(system.name() + ".sys");
+  write_file(out, dcf::save_system(system));
+  std::cout << "system written to " << out << '\n';
+  return 0;
 }
 
 int cmd_report(const Args& args) {
@@ -703,6 +837,7 @@ int main(int argc, char** argv) {
     }
     if (args->command == "verify") return cmd_verify(*args);
     if (args->command == "report") return cmd_report(*args);
+    if (args->command == "import") return cmd_import(*args);
     std::cerr << kUsage;
     return 2;
   } catch (const ParseError& e) {
