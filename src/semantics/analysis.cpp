@@ -111,11 +111,17 @@ double AnalysisCacheStats::hit_rate() const {
   return static_cast<double>(total_hits()) / static_cast<double>(accesses);
 }
 
-std::string AnalysisCacheStats::to_string() const {
+std::string AnalysisCacheStats::summary() const {
   std::ostringstream out;
   out << "analysis cache: " << total_hits() << " hit(s), " << total_misses()
       << " miss(es), " << total_transfers() << " transfer(s), hit rate "
       << static_cast<int>(hit_rate() * 100.0 + 0.5) << "%";
+  return out.str();
+}
+
+std::string AnalysisCacheStats::to_string() const {
+  std::ostringstream out;
+  out << summary();
   for (std::size_t i = 0; i < kAnalysisCount; ++i) {
     if (hits[i] + misses[i] + transfers[i] == 0) continue;
     out << "\n  " << kNames[i] << ": " << hits[i] << " hit(s), " << misses[i]

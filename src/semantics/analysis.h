@@ -70,6 +70,14 @@ class PreservedAnalyses {
   [[nodiscard]] bool preserved(Analysis analysis) const;
   [[nodiscard]] bool empty() const { return mask_ == 0; }
 
+  /// Narrows to the analyses both declarations keep — the declaration of
+  /// a *composed* transformation chain (a pipeline or a search path
+  /// preserves exactly the intersection of its steps' declarations).
+  PreservedAnalyses& intersect(const PreservedAnalyses& other) {
+    mask_ &= other.mask_;
+    return *this;
+  }
+
   /// "reachability+concurrency+order" or "none".
   [[nodiscard]] std::string to_string() const;
 
@@ -91,6 +99,9 @@ struct AnalysisCacheStats {
   [[nodiscard]] std::size_t total_transfers() const;
   /// hits / (hits + misses), 0 when never accessed.
   [[nodiscard]] double hit_rate() const;
+  /// Single-line totals — the CLI engine-summary form shared by every
+  /// camadc subcommand. to_string() appends per-analysis breakdown lines.
+  [[nodiscard]] std::string summary() const;
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -23,17 +23,12 @@
 
 #include "dcf/system.h"
 #include "semantics/analysis.h"
+#include "semantics/equivalence.h"
 #include "synth/cost.h"
+#include "synth/frontier.h"
 #include "synth/library.h"
 
 namespace camad::synth {
-
-struct Metrics {
-  double area = 0;
-  double mean_cycles = 0;
-  double cycle_time = 0;
-  double time_ns = 0;
-};
 
 struct OptimizerOptions {
   /// Objective = λ·(area/area₀) + (1-λ)·(time/time₀); λ ∈ [0,1].
@@ -116,9 +111,80 @@ struct StochasticOptions {
 /// applies the same post-passes; the best restart wins. Trades the
 /// greedy search's O(pairs²) evaluations per step for more, cheaper
 /// walks — and can escape greedy's myopia on rugged objectives. Compared
-/// against plain `optimize` in bench_tradeoff.
+/// against plain `optimize` in bench_optimizer.
 OptimizerResult optimize_stochastic(const dcf::System& serial,
                                     const ModuleLibrary& lib,
                                     const StochasticOptions& options = {});
+
+/// Reference corner for the normalized hypervolume: (area, time) are
+/// divided by the initial (parallelized, untransformed) metrics, and the
+/// dominated region is measured against (1.1, 1.1) — a 10% margin so the
+/// initial point itself contributes positively.
+inline constexpr double kHypervolumeRef = 1.1;
+
+struct ParetoOptions {
+  /// Candidates carried between generations. The frontier itself is not
+  /// truncated to the beam — every evaluated successor competes for it.
+  std::size_t beam_width = 6;
+  std::size_t generations = 64;
+  /// Stop after this many consecutive generations without a frontier
+  /// insertion (merge-rich designs insert every generation until the
+  /// merge supply is exhausted, so this triggers only at convergence).
+  std::size_t stall_generations = 2;
+  MeasureOptions measure;
+  /// Worker threads for expansion/measurement fan-out (0 = hardware).
+  /// The frontier is byte-identical at any count: jobs are enumerated in
+  /// a fixed total order, workers only fill indexed slots, and every
+  /// dedup / insertion / selection decision happens serially in job
+  /// order (the PR 3 argmin discipline, generalized).
+  std::size_t eval_threads = 0;
+  bool use_analysis_cache = true;
+  /// Check every reported frontier point equivalent to the seed via the
+  /// Def 4.1 differential oracle; a failure throws TransformError naming
+  /// the point's provenance.
+  bool verify_frontier = true;
+  semantics::DifferentialOptions verify;
+  /// Split actions enumerated per candidate per generation (splits
+  /// mostly re-open merged routes; a small cap keeps them from
+  /// dominating the job list).
+  std::size_t max_split_actions = 8;
+  /// Scalarization grid for the reserved beam slots: for each λ the
+  /// earliest-index argmin of λ·area_norm + (1-λ)·time_norm survives,
+  /// so the beam always carries the pure-area, pure-time and balanced
+  /// descent directions; remaining slots fill by non-domination rank.
+  std::vector<double> lambda_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+};
+
+struct ParetoResult {
+  /// Non-dominated points in area-ascending order, every one verified
+  /// against the seed when verify_frontier is set.
+  std::vector<FrontierPoint> frontier;
+  Metrics initial;  ///< parallelized, no transformations
+  /// Normalized staircase hypervolume w.r.t. kHypervolumeRef (see
+  /// above); larger is better, 0 means even the initial point fell
+  /// outside the reference box.
+  double hypervolume = 0;
+  std::size_t candidates_evaluated = 0;  ///< measured schedules
+  std::size_t dedup_hits = 0;   ///< successors skipped by design_hash
+  std::size_t generations_run = 0;
+  std::size_t verified_points = 0;
+  sim::SimStats sim_stats;
+  semantics::AnalysisCacheStats analysis_stats;
+};
+
+/// Multi-objective beam search over the transformation vocabulary
+/// (merge / split / regshare / chain) from a *serial* compiled design.
+/// Deterministic at any eval_threads; throws TransformError if a
+/// frontier point fails the Def 4.1 check.
+ParetoResult optimize_pareto(const dcf::System& serial,
+                             const ModuleLibrary& lib,
+                             const ParetoOptions& options = {});
+
+/// Deterministic JSON rendering of a ParetoResult (design name, initial
+/// metrics, hypervolume, per-point metrics + provenance + design hash).
+/// Shared by `camadc optimize --frontier-out`, bench_optimizer and the
+/// thread-invariance tests, which byte-compare it across thread counts.
+std::string frontier_to_json(const ParetoResult& result,
+                             const std::string& design_name);
 
 }  // namespace camad::synth

@@ -167,9 +167,18 @@ PassPipeline PassPipeline::from_spec(std::string_view spec) {
   return pipeline;
 }
 
+semantics::PreservedAnalyses PassPipeline::preserves() const {
+  semantics::PreservedAnalyses preserved = semantics::PreservedAnalyses::all();
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    preserved.intersect(pass->preserves());
+  }
+  return preserved;
+}
+
 dcf::System PassPipeline::run(const dcf::System& initial) {
   stats_.clear();
   cache_stats_ = {};
+  provenance_.clear();
   dcf::System current = initial;
   semantics::AnalysisCache cache(current);
   for (const std::unique_ptr<Pass>& pass : passes_) {
@@ -188,6 +197,7 @@ dcf::System PassPipeline::run(const dcf::System& initial) {
     record.states_after = next.control().state_count();
     record.vertices_after = next.datapath().vertex_count();
     record.counters = pass->counters();
+    provenance_.push_back({record.name, record.counters});
     stats_.push_back(std::move(record));
     cache_stats_ += cache.stats();
     current = std::move(next);
@@ -208,6 +218,7 @@ std::string PassPipeline::stats_to_string() const {
     if (!s.counters.empty()) out << " [" << s.counters << "]";
     out << '\n';
   }
+  out << "pipeline preserves: " << preserves().to_string() << '\n';
   out << cache_stats_.to_string() << '\n';
   return out.str();
 }

@@ -23,6 +23,7 @@
 
 #include "dcf/system.h"
 #include "semantics/analysis.h"
+#include "transform/provenance.h"
 
 namespace camad::transform {
 
@@ -79,6 +80,12 @@ class PassPipeline {
   [[nodiscard]] const semantics::AnalysisCacheStats& cache_stats() const {
     return cache_stats_;
   }
+  /// Transform chain of the most recent run(): one step per pass, its
+  /// counters as the detail — the recipe that rebuilds run()'s output.
+  [[nodiscard]] const Provenance& provenance() const { return provenance_; }
+  /// Analyses of run()'s *input* still valid for its output: the
+  /// intersection of every pass's declaration.
+  [[nodiscard]] semantics::PreservedAnalyses preserves() const;
   /// Multi-line human-readable dump of stats() + cache_stats().
   [[nodiscard]] std::string stats_to_string() const;
 
@@ -86,6 +93,7 @@ class PassPipeline {
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<PassStats> stats_;
   semantics::AnalysisCacheStats cache_stats_;
+  Provenance provenance_;
 };
 
 }  // namespace camad::transform

@@ -25,6 +25,10 @@ Pipeline& Pipeline::run(
                  " states, " + std::to_string(current_.datapath().vertex_count()) +
                  " -> " + std::to_string(next.datapath().vertex_count()) +
                  " vertices");
+  provenance_.push_back(
+      {name, std::to_string(current_.control().net().place_count()) + " -> " +
+                 std::to_string(next.control().net().place_count()) +
+                 " states"});
   current_ = std::move(next);
   if (cache_.has_value()) {
     semantics::AnalysisCache next_cache = cache_->successor(current_, preserved);

@@ -43,6 +43,9 @@ class Pipeline {
   [[nodiscard]] const dcf::System& current() const { return current_; }
   /// One line per applied pass, e.g. "merge_all: 652 -> 530 area-free log".
   [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+  /// Transform chain applied so far (pass name + state/vertex delta) —
+  /// the replayable recipe behind current().
+  [[nodiscard]] const Provenance& provenance() const { return provenance_; }
   [[nodiscard]] std::size_t steps() const { return log_.size(); }
 
  private:
@@ -57,6 +60,7 @@ class Pipeline {
   dcf::System current_;
   std::optional<semantics::AnalysisCache> cache_;
   std::vector<std::string> log_;
+  Provenance provenance_;
   bool verify_ = false;
   semantics::DifferentialOptions verify_options_;
 };

@@ -1,0 +1,40 @@
+// Transform-chain provenance.
+//
+// A Provenance is the ordered list of transformations that produced a
+// design from its seed — the answer to "how do I rebuild this point?".
+// PassPipeline and Pipeline record one per run; the Pareto optimizer
+// attaches one to every frontier point so the trade-off a designer picks
+// comes with its replayable recipe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace camad::transform {
+
+/// One applied transformation: the pass that ran plus an optional
+/// human-readable operand ("u3 into u1", "3 merger(s)").
+struct ProvenanceStep {
+  std::string pass;
+  std::string detail;
+
+  friend bool operator==(const ProvenanceStep&,
+                         const ProvenanceStep&) = default;
+};
+
+/// The chain that produced a design, seed-side first.
+using Provenance = std::vector<ProvenanceStep>;
+
+/// "merge(u3 into u1) > chain" — an empty chain renders as "seed".
+inline std::string provenance_to_string(const Provenance& provenance) {
+  if (provenance.empty()) return "seed";
+  std::string out;
+  for (const ProvenanceStep& step : provenance) {
+    if (!out.empty()) out += " > ";
+    out += step.pass;
+    if (!step.detail.empty()) out += "(" + step.detail + ")";
+  }
+  return out;
+}
+
+}  // namespace camad::transform

@@ -1,0 +1,362 @@
+// Pareto design-space explorer tests: canonical design hash (renumbering
+// invariance, structure sensitivity, merge-order canonicality, 500-seed
+// collision sweep), ParetoFrontier dominance/hypervolume semantics,
+// search quality (the frontier weakly dominates the greedy optimizer on
+// every named design), per-point Def 4.1 verification, thread-count
+// invariance of the frontier JSON over generated systems, and the
+// provenance recording the transform pipelines grew alongside.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dcf/builder.h"
+#include "dcf/system.h"
+#include "fixtures.h"
+#include "gen/sysgen.h"
+#include "semantics/analysis.h"
+#include "semantics/equivalence.h"
+#include "synth/compile.h"
+#include "synth/design_hash.h"
+#include "synth/designs.h"
+#include "synth/library.h"
+#include "synth/optimizer.h"
+#include "transform/merge.h"
+#include "transform/passes.h"
+#include "transform/pipeline.h"
+
+namespace camad::synth {
+namespace {
+
+// --- canonical design hash ---------------------------------------------------
+
+// The two_lane fixture rebuilt with every declaration order reversed:
+// identical structure and external names, but different vertex ids,
+// place ids, and internal names. The hash must not see the difference.
+dcf::System make_two_lane_renumbered() {
+  dcf::SystemBuilder b;
+  const auto mul = b.unit("product", dcf::OpCode::kMul);
+  const auto add = b.unit("sum", dcf::OpCode::kAdd);
+  const auto r4 = b.reg("d");
+  const auto r3 = b.reg("c");
+  const auto r2 = b.reg("b");
+  const auto r1 = b.reg("a");
+  const auto o2 = b.output("o2");
+  const auto o1 = b.output("o1");
+  const auto y = b.input("y");
+  const auto x = b.input("x");
+
+  const auto s4 = b.state("U4");
+  const auto s3 = b.state("U3");
+  const auto s2 = b.state("U2");
+  const auto s1 = b.state("U1");
+  const auto s0 = b.state("U0", /*initial=*/true);
+
+  b.connect(x, r1, 0, {s0});
+  b.connect(y, r2, 0, {s0});
+  b.arc(b.out(r1), b.in(add, 0), {s1});
+  b.arc(b.out(r1), b.in(add, 1), {s1});
+  b.arc(b.out(add), b.in(r3), {s1});
+  b.arc(b.out(r2), b.in(mul, 0), {s2});
+  b.arc(b.out(r2), b.in(mul, 1), {s2});
+  b.arc(b.out(mul), b.in(r4), {s2});
+  b.connect(r3, o1, 0, {s3});
+  b.connect(r4, o2, 0, {s4});
+
+  b.chain(s0, s1, "V0");
+  b.chain(s1, s2, "V1");
+  b.chain(s2, s3, "V2");
+  b.chain(s3, s4, "V3");
+  const auto t_end = b.transition("Vend");
+  b.flow(s4, t_end);
+  return b.build("two_lane_renumbered");
+}
+
+TEST(DesignHash, Deterministic) {
+  EXPECT_EQ(design_hash(test::make_gcd()), design_hash(test::make_gcd()));
+}
+
+TEST(DesignHash, InvariantUnderRenumbering) {
+  EXPECT_EQ(design_hash(test::make_two_lane()),
+            design_hash(make_two_lane_renumbered()));
+}
+
+TEST(DesignHash, SensitiveToStructure) {
+  const std::uint64_t two_lane = design_hash(test::make_two_lane());
+  EXPECT_NE(two_lane, design_hash(test::make_gcd()));
+  EXPECT_NE(two_lane, design_hash(test::make_doubler()));
+
+  // Same shape, one operation changed: kMul -> kSub.
+  dcf::SystemBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  const auto o1 = b.output("o1");
+  const auto o2 = b.output("o2");
+  const auto r1 = b.reg("r1");
+  const auto r2 = b.reg("r2");
+  const auto r3 = b.reg("r3");
+  const auto r4 = b.reg("r4");
+  const auto add = b.unit("add", dcf::OpCode::kAdd);
+  const auto mul = b.unit("mul", dcf::OpCode::kSub);
+  const auto s0 = b.state("S0", true);
+  const auto s1 = b.state("S1");
+  const auto s2 = b.state("S2");
+  const auto s3 = b.state("S3");
+  const auto s4 = b.state("S4");
+  b.connect(x, r1, 0, {s0});
+  b.connect(y, r2, 0, {s0});
+  b.arc(b.out(r1), b.in(add, 0), {s1});
+  b.arc(b.out(r1), b.in(add, 1), {s1});
+  b.arc(b.out(add), b.in(r3), {s1});
+  b.arc(b.out(r2), b.in(mul, 0), {s2});
+  b.arc(b.out(r2), b.in(mul, 1), {s2});
+  b.arc(b.out(mul), b.in(r4), {s2});
+  b.connect(r3, o1, 0, {s3});
+  b.connect(r4, o2, 0, {s4});
+  b.chain(s0, s1, "T0");
+  b.chain(s1, s2, "T1");
+  b.chain(s2, s3, "T2");
+  b.chain(s3, s4, "T3");
+  b.flow(s4, b.transition("Tend"));
+  EXPECT_NE(two_lane, design_hash(b.build("two_lane_sub")));
+}
+
+TEST(DesignHash, MergeDirectionCanonical) {
+  // Merging u into v and v into u produce structurally identical
+  // systems that differ only in which internal name survived — the
+  // dedup that makes the beam search not explore both.
+  const dcf::System gcd = test::make_gcd();
+  const auto pairs = transform::mergeable_pairs(gcd);
+  ASSERT_FALSE(pairs.empty());
+  const auto [vi, vj] = pairs.front();
+  EXPECT_EQ(design_hash(transform::merge_vertices(gcd, vi, vj)),
+            design_hash(transform::merge_vertices(gcd, vj, vi)));
+}
+
+// 500-seed generated sweep, sharded: hash-equal systems must be
+// behaviorally equivalent under the Def 4.1 differential oracle, and the
+// collision rate over the corpus is reported as a test property.
+constexpr std::uint64_t kHashShardSize = 125;
+
+class DesignHashSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesignHashSweep, HashEqualImpliesEquivalent) {
+  const std::uint64_t first = 1 + GetParam() * kHashShardSize;
+  std::map<std::uint64_t, dcf::System> seen;
+  std::size_t collisions = 0;
+  for (std::uint64_t seed = first; seed < first + kHashShardSize; ++seed) {
+    const dcf::System sys = gen::random_system(seed);
+    const std::uint64_t h = design_hash(sys);
+    const auto [it, inserted] = seen.emplace(h, sys);
+    if (inserted) continue;
+    ++collisions;
+    const semantics::EquivalenceVerdict verdict =
+        semantics::differential_equivalence(it->second, sys);
+    EXPECT_TRUE(verdict.holds)
+        << "seed " << seed << " collides with an inequivalent system: "
+        << verdict.why;
+  }
+  RecordProperty("hash_collisions", static_cast<int>(collisions));
+  RecordProperty("corpus_size", static_cast<int>(kHashShardSize));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DesignHashSweep,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+// --- ParetoFrontier ----------------------------------------------------------
+
+FrontierPoint point(double area, double time_ns) {
+  FrontierPoint p;
+  p.metrics.area = area;
+  p.metrics.time_ns = time_ns;
+  return p;
+}
+
+TEST(ParetoFrontier, DominanceInsertion) {
+  ParetoFrontier f;
+  EXPECT_TRUE(f.insert(point(2, 2)));
+  EXPECT_FALSE(f.insert(point(3, 3)));  // dominated
+  EXPECT_FALSE(f.insert(point(2, 2)));  // duplicate
+  EXPECT_TRUE(f.insert(point(1, 3)));   // trades area for time
+  EXPECT_TRUE(f.insert(point(3, 1)));   // trades time for area
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_TRUE(f.insert(point(1, 1)));   // dominates everything
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.points().front().metrics.area, 1);
+}
+
+TEST(ParetoFrontier, CanonicalOrderIsAreaAscending) {
+  ParetoFrontier f;
+  f.insert(point(3, 1));
+  f.insert(point(1, 3));
+  f.insert(point(2, 2));
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.points()[0].metrics.area, 1);
+  EXPECT_EQ(f.points()[1].metrics.area, 2);
+  EXPECT_EQ(f.points()[2].metrics.area, 3);
+}
+
+TEST(ParetoFrontier, Dominates) {
+  ParetoFrontier f;
+  f.insert(point(1, 3));
+  f.insert(point(3, 1));
+  EXPECT_TRUE(f.dominates(1, 3));    // weak: equality counts
+  EXPECT_TRUE(f.dominates(2, 3.5));
+  EXPECT_FALSE(f.dominates(2, 2));
+  EXPECT_FALSE(f.dominates(0.5, 10));
+}
+
+TEST(ParetoFrontier, HypervolumeStaircase) {
+  ParetoFrontier f;
+  f.insert(point(1, 3));
+  f.insert(point(2, 2));
+  f.insert(point(3, 1));
+  // (4-1)(4-3) + (4-2)(3-2) + (4-3)(2-1) = 3 + 2 + 1.
+  EXPECT_DOUBLE_EQ(f.hypervolume(4, 4), 6.0);
+  // Points at or beyond the reference contribute nothing.
+  EXPECT_DOUBLE_EQ(f.hypervolume(1, 1), 0.0);
+}
+
+// --- the search --------------------------------------------------------------
+
+TEST(OptimizePareto, FrontierOnFixtureIsVerifiedAndNonEmpty) {
+  const dcf::System serial = test::make_two_lane();
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  ParetoOptions options;
+  options.measure.environments = 2;
+  const ParetoResult result = optimize_pareto(serial, lib, options);
+  ASSERT_FALSE(result.frontier.empty());
+  EXPECT_EQ(result.verified_points, result.frontier.size());
+  EXPECT_GT(result.hypervolume, 0.0);
+  for (const FrontierPoint& p : result.frontier) {
+    EXPECT_EQ(p.design_hash, design_hash(p.master));
+  }
+}
+
+TEST(OptimizePareto, FrontierJsonCarriesProvenanceAndHypervolume) {
+  const dcf::System serial = test::make_gcd();
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  ParetoOptions options;
+  options.measure.environments = 2;
+  const ParetoResult result = optimize_pareto(serial, lib, options);
+  const std::string json = frontier_to_json(result, serial.name());
+  EXPECT_NE(json.find("\"design\":\"gcd\""), std::string::npos);
+  EXPECT_NE(json.find("\"hypervolume\""), std::string::npos);
+  EXPECT_NE(json.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(json.find("\"hash\""), std::string::npos);
+}
+
+// One ctest per named design: the frontier must weakly dominate the
+// greedy optimizer's endpoint — the tentpole's quality contract.
+class ParetoVsGreedy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParetoVsGreedy, FrontierWeaklyDominatesGreedy) {
+  const auto designs = all_designs();
+  ASSERT_LT(GetParam(), designs.size());
+  const dcf::System serial =
+      compile_source(std::string(designs[GetParam()].source));
+  const ModuleLibrary lib = ModuleLibrary::standard();
+
+  OptimizerOptions greedy_options;
+  greedy_options.measure.environments = 2;
+  const OptimizerResult greedy = optimize(serial, lib, greedy_options);
+
+  ParetoOptions pareto_options;
+  pareto_options.measure.environments = 2;
+  pareto_options.verify_frontier = false;  // covered by the fixture test
+  const ParetoResult result = optimize_pareto(serial, lib, pareto_options);
+
+  ParetoFrontier frontier;
+  for (const FrontierPoint& p : result.frontier) frontier.insert(p);
+  EXPECT_TRUE(frontier.dominates(greedy.final.area, greedy.final.time_ns))
+      << designs[GetParam()].name << ": greedy endpoint ("
+      << greedy.final.area << ", " << greedy.final.time_ns
+      << ") escapes the frontier";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, ParetoVsGreedy,
+                         ::testing::Range<std::size_t>(0, 6));
+
+// Thread-count invariance: the frontier JSON must be byte-identical at
+// 1/2/4/8 evaluation threads. 100 generated seeds, sharded.
+constexpr std::uint64_t kInvarianceShardSize = 25;
+
+class ParetoThreadInvariance
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParetoThreadInvariance, FrontierJsonIsByteIdentical) {
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  const std::uint64_t first = 1 + GetParam() * kInvarianceShardSize;
+  for (std::uint64_t seed = first; seed < first + kInvarianceShardSize;
+       ++seed) {
+    const dcf::System sys = gen::random_system(seed);
+    ParetoOptions options;
+    options.measure.environments = 2;
+    options.beam_width = 4;
+    options.generations = 6;
+    options.verify_frontier = false;
+    std::string reference;
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+      options.eval_threads = threads;
+      const ParetoResult result = optimize_pareto(sys, lib, options);
+      const std::string json = frontier_to_json(result, sys.name());
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        ASSERT_EQ(json, reference)
+            << "seed " << seed << " diverges at " << threads << " threads";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ParetoThreadInvariance,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+// --- provenance recording ----------------------------------------------------
+
+TEST(Provenance, PassPipelineRecordsChain) {
+  transform::PassPipeline pipeline =
+      transform::PassPipeline::from_spec("parallelize,merge-all,cleanup");
+  const dcf::System out = pipeline.run(test::make_gcd());
+  (void)out;
+  ASSERT_EQ(pipeline.provenance().size(), 3u);
+  EXPECT_EQ(pipeline.provenance()[0].pass, "parallelize");
+  EXPECT_EQ(pipeline.provenance()[1].pass, "merge-all");
+  EXPECT_EQ(pipeline.provenance()[2].pass, "cleanup");
+  const std::string rendered =
+      transform::provenance_to_string(pipeline.provenance());
+  EXPECT_NE(rendered.find("parallelize"), std::string::npos);
+  EXPECT_NE(rendered.find(" > "), std::string::npos);
+}
+
+TEST(Provenance, PipelineRecordsChain) {
+  transform::Pipeline pipeline(test::make_gcd());
+  pipeline.merge_all().cleanup();
+  ASSERT_EQ(pipeline.provenance().size(), 2u);
+  EXPECT_EQ(pipeline.provenance()[0].pass, "merge_all");
+  EXPECT_EQ(pipeline.provenance()[1].pass, "cleanup");
+}
+
+TEST(Provenance, EmptyChainRendersSeed) {
+  EXPECT_EQ(transform::provenance_to_string({}), "seed");
+}
+
+TEST(Provenance, PipelinePreservesIsIntersection) {
+  // merge-all declares the control-net analyses preserved; cleanup
+  // declares nothing — the pipeline's composed claim must be the
+  // intersection (nothing).
+  transform::PassPipeline both =
+      transform::PassPipeline::from_spec("merge-all,cleanup");
+  EXPECT_EQ(both.preserves().to_string(),
+            semantics::PreservedAnalyses::none().to_string());
+  transform::PassPipeline merge_only =
+      transform::PassPipeline::from_spec("merge-all");
+  EXPECT_EQ(merge_only.preserves().to_string(),
+            transform::merge_preserved_analyses().to_string());
+}
+
+}  // namespace
+}  // namespace camad::synth

@@ -64,6 +64,7 @@
 #include "synth/compile.h"
 #include "synth/critpath.h"
 #include "synth/fold.h"
+#include "synth/optimizer.h"
 #include "synth/parser.h"
 #include "synth/synthesis.h"
 #include "transform/chain.h"
@@ -118,8 +119,10 @@ constexpr const char* kUsage =
     "  transform: --parallelize --merge-all --regshare --chain --cleanup\n"
     "             --passes=name,name,... --print-pass-stats\n"
     "             --out result.sys (passes run in the listed order)\n"
-    "  synth:  --lambda L --max-steps N --netlist PATH --dot PATH "
-    "--no-verify\n"
+    "  synth:  --strategy greedy|pareto --lambda L --max-steps N "
+    "--netlist PATH --dot PATH --no-verify\n"
+    "          --beam N --generations N --threads N --frontier-out FILE "
+    "(pareto)\n"
     "  sim:    --in name=v1,v2,... --vcd PATH --max-cycles N --trace "
     "--seed S\n"
     "          --engine compiled|reference|sparse --lanes N\n"
@@ -144,7 +147,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       "--vcd",     "--max-cycles", "--seed",        "--trips", "--out",
       "--passes",  "--threads",    "--max-states",  "--token-bound",
       "--engine",  "--lanes",      "--expect",      "--stub",
-      "--export-pnml"};
+      "--export-pnml", "--strategy", "--beam",      "--generations",
+      "--frontier-out"};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!starts_with(arg, "--")) return std::nullopt;
@@ -320,6 +324,7 @@ int cmd_transform(const Args& args) {
       if (!ps.counters.empty()) std::cout << " (" << ps.counters << ")";
       std::cout << "\n";
     }
+    std::cout << "  " << pipeline.cache_stats().summary() << "\n";
     if (args.flag("--print-pass-stats")) {
       std::cout << pipeline.stats_to_string();
     }
@@ -372,8 +377,86 @@ int cmd_transform(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+/// The one-line engine summary every camadc subcommand prints: the
+/// summed plan-cache activity of the run's measurements plus the
+/// analysis cache's lifetime totals (same shape as `camadc sim`'s
+/// "engine <name>:" line).
+void print_engine_summary(const sim::SimStats& sim_stats,
+                          const semantics::AnalysisCacheStats& analysis) {
+  std::cout << "  engine compiled: " << sim_stats.to_string() << '\n'
+            << "  " << analysis.summary() << '\n';
+}
+
+/// `camadc optimize --strategy=pareto`: multi-objective beam search,
+/// prints the frontier table and optionally writes the deterministic
+/// frontier JSON.
+int cmd_synth_pareto(const Args& args, Telemetry& telemetry) {
+  const dcf::System serial = load_any(args.file);
+  const dcf::CheckReport check = dcf::check_properly_designed(serial);
+  if (!check.ok()) {
+    std::cerr << serial.name() << ": " << check.to_string() << '\n';
+    return 1;
+  }
+  synth::ParetoOptions options;
+  options.measure.environments = 2;
+  if (const auto beam = args.option("--beam")) {
+    options.beam_width = std::stoul(*beam);
+  }
+  if (const auto generations = args.option("--generations")) {
+    options.generations = std::stoul(*generations);
+  }
+  if (const auto threads = args.option("--threads")) {
+    options.eval_threads = std::stoul(*threads);
+  }
+  options.verify_frontier = !args.flag("--no-verify");
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+  const synth::ParetoResult result =
+      synth::optimize_pareto(serial, lib, options);
+
+  std::cout << "pareto frontier for " << serial.name() << " ("
+            << result.frontier.size() << " point(s), "
+            << result.generations_run << " generation(s)):\n";
+  Table table({"area", "mean cycles", "cycle ns", "time ns", "provenance"});
+  for (const synth::FrontierPoint& p : result.frontier) {
+    table.add_row({format_double(p.metrics.area, 0),
+                   format_double(p.metrics.mean_cycles, 1),
+                   format_double(p.metrics.cycle_time, 1),
+                   format_double(p.metrics.time_ns, 0),
+                   transform::provenance_to_string(p.provenance)});
+  }
+  std::cout << table.to_string();
+  std::cout << "hypervolume " << format_double(result.hypervolume, 4)
+            << " (ref " << format_double(synth::kHypervolumeRef, 1)
+            << "x initial), " << result.candidates_evaluated
+            << " candidate(s), " << result.dedup_hits << " dedup hit(s), "
+            << result.verified_points << " point(s) verified\n";
+  print_engine_summary(result.sim_stats, result.analysis_stats);
+  if (const auto path = args.option("--frontier-out")) {
+    write_file(*path, synth::frontier_to_json(result, serial.name()));
+    std::cout << "frontier written to " << *path << '\n';
+  }
+  if (telemetry.metrics_enabled()) {
+    obs::publish_sim_stats(telemetry.metrics, result.sim_stats);
+    obs::publish_analysis_stats(telemetry.metrics, result.analysis_stats);
+    telemetry.metrics.add("pareto.candidates_evaluated",
+                          result.candidates_evaluated);
+    telemetry.metrics.add("pareto.dedup_hits", result.dedup_hits);
+    telemetry.metrics.add("pareto.frontier_points", result.frontier.size());
+    telemetry.metrics.set("pareto.hypervolume", result.hypervolume);
+  }
+  telemetry.finish();
+  return 0;
+}
+
 int cmd_synth(const Args& args) {
   Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
+  const std::string strategy = args.option("--strategy").value_or("greedy");
+  if (strategy == "pareto") return cmd_synth_pareto(args, telemetry);
+  if (strategy != "greedy") {
+    std::cerr << "unknown strategy '" << strategy
+              << "' (expected greedy or pareto)\n";
+    return 2;
+  }
   synth::SynthesisOptions options;
   if (const auto lambda = args.option("--lambda")) {
     options.optimizer.area_weight = std::stod(*lambda);
@@ -387,6 +470,8 @@ int cmd_synth(const Args& args) {
   const synth::SynthesisResult result =
       synth::synthesize(read_file(args.file), options);
   std::cout << result.report << '\n';
+  print_engine_summary(result.optimization.sim_stats,
+                       result.optimization.analysis_stats);
   if (const auto path = args.option("--netlist")) {
     write_file(*path, result.netlist);
     std::cout << "netlist written to " << *path << '\n';
