@@ -15,14 +15,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <thread>
 
 #include "json_out.h"
 #include "mc/checker.h"
+#include "petri/export.h"
 #include "petri/pnml.h"
 #include "petri/reachability.h"
 #include "util/error.h"
@@ -41,7 +42,12 @@ struct Workload {
 
 // Widths chosen so the interleaving space is large enough (~1e5–1e6
 // states) for thread scaling to show, yet bounded enough for CI.
+// fork8x3 (6.6k states) is the quick smoke workload; fork8x4 (65539
+// states) is the memory-accounting reference the obs tests and docs
+// use for bytes-per-state; nest2x4 (1.72M states) is the big one the
+// CI verify step drives with --progress/--report.
 constexpr Workload kWorkloads[] = {
+    {"fork8x3", 1, 8, 3},
     {"fork8x4", 1, 8, 4},
     {"fork9x4", 1, 9, 4},
     {"nest2x4", 2, 4, 3},
@@ -101,9 +107,17 @@ double run_once(const petri::Net& net, std::size_t threads,
 void sweep_json(bench::BenchJson& json, const std::string& name,
                 const petri::Net& net) {
   const mc::McResult reference = mc::model_check(net, options_for(1));
+  const double bytes_per_state =
+      reference.state_count > 0
+          ? static_cast<double>(reference.stats.store_bytes) /
+                static_cast<double>(reference.state_count)
+          : 0.0;
   json.begin_design(name)
       .field("states", static_cast<std::uint64_t>(reference.state_count))
-      .field("depth", static_cast<std::uint64_t>(reference.depth));
+      .field("depth", static_cast<std::uint64_t>(reference.depth))
+      .field("store_bytes",
+             static_cast<std::uint64_t>(reference.stats.store_bytes))
+      .field("bytes_per_state", bench::rounded(bytes_per_state, 1));
   double base = 0.0;
   for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
     // Best of three: the scaling curve, not scheduler noise.
@@ -125,9 +139,9 @@ void sweep_json(bench::BenchJson& json, const std::string& name,
 }
 
 bool emit_json(const std::string& path) {
+  // Host metadata (hardware threads, build type) comes from the
+  // BenchJson schema-v2 stamp.
   bench::BenchJson json(path, "mc", "states_per_second");
-  json.meta("hardware_threads",
-            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   for (const Workload& w : kWorkloads) {
     sweep_json(json, w.name, net_for(w));
   }
@@ -156,6 +170,24 @@ void BM_model_check(benchmark::State& state, const Workload& w) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --export-pnml=DIR: write each synthetic workload as PNML so external
+  // tools (and `camadc verify` in CI) can run the exact bench nets.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--export-pnml=", 14) == 0) {
+      const std::string dir = argv[i] + 14;
+      for (const Workload& w : kWorkloads) {
+        const std::string path = dir + "/" + w.name + ".pnml";
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "error: cannot write " << path << '\n';
+          return 1;
+        }
+        out << petri::to_pnml(net_for(w), w.name);
+        std::cout << "wrote " << path << '\n';
+      }
+      return 0;
+    }
+  }
   const std::string json_path =
       bench::extract_json_path(argc, argv, "BENCH_mc.json");
   if (!json_path.empty()) {

@@ -13,15 +13,25 @@
 // plus enabled_overhead_percent per design for the CI bench artifact
 // (see docs/PERF.md). Without --json the same measurements are
 // registered as google-benchmark cases.
+//
+// The --json mode additionally measures the progress-heartbeat path
+// (src/obs/progress.h) on an mc BFS workload — states/second with no
+// meter vs. with a live ProgressMeter sampling into a discarded stream —
+// and FAILS (exit 1) if the with-meter overhead exceeds
+// kMaxProgressOverheadPercent: the CI gate on the publish-site contract.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "json_out.h"
+#include "mc/checker.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "synth/compile.h"
@@ -89,9 +99,75 @@ void BM_simulate_obs(benchmark::State& state, const std::string& name,
   if (session) session->deactivate();
 }
 
+/// CI gate: the progress-meter path may cost at most this much of the
+/// mc BFS throughput. Generous (the publish sites are relaxed atomics
+/// and the sampler thread is near-idle) so scheduler noise on shared
+/// runners does not trip it.
+constexpr double kMaxProgressOverheadPercent = 25.0;
+
+/// mc states/second on `net`, best of `reps`, optionally with a live
+/// ProgressMeter sampling into a discarded stream (so the cost measured
+/// is publish sites + sampler thread, not terminal I/O).
+double measure_mc_states_per_second(const petri::Net& net, bool with_meter,
+                                    int reps) {
+  std::ostringstream sink;
+  std::optional<obs::ProgressMeter> meter;
+  if (with_meter) {
+    meter.emplace(obs::ProgressMeterOptions{0.05, &sink});
+  }
+  mc::McOptions options;
+  options.threads = 1;
+  options.compute_concurrency = false;
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const mc::McResult out = mc::model_check(net, options);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    const double rate =
+        seconds > 0 ? static_cast<double>(out.state_count) / seconds : 0.0;
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+/// Measures the progress-path record and enforces the overhead gate.
+bool emit_progress_record(bench::BenchJson& json) {
+  bench::SpNetOptions sp;
+  sp.width = 8;
+  sp.chain = 2;
+  const petri::Net net = bench::random_sp_net(/*seed=*/3, sp);
+  const double disabled = measure_mc_states_per_second(net, false, 3);
+  const double with_meter = measure_mc_states_per_second(net, true, 3);
+  const double overhead =
+      with_meter > 0 ? (disabled / with_meter - 1.0) * 100.0 : 0.0;
+  json.begin_design("mc_fork8x2")
+      .field("disabled_states_per_second",
+             static_cast<std::uint64_t>(disabled))
+      .field("progress_states_per_second",
+             static_cast<std::uint64_t>(with_meter))
+      .field("progress_overhead_percent", bench::rounded(overhead, 1))
+      .end_design();
+  std::cout << "BENCH_obs mc_fork8x2: "
+            << static_cast<std::uint64_t>(disabled)
+            << " states/s no meter, "
+            << static_cast<std::uint64_t>(with_meter) << " with meter ("
+            << format_double(overhead, 1) << "% overhead)\n";
+  if (overhead > kMaxProgressOverheadPercent) {
+    std::cerr << "error: progress-meter overhead "
+              << format_double(overhead, 1) << "% exceeds the "
+              << format_double(kMaxProgressOverheadPercent, 0)
+              << "% gate\n";
+    return false;
+  }
+  return true;
+}
+
 /// Emits BENCH_obs.json: per-design disabled / enabled / deterministic
-/// tracing throughput and the enabled-mode overhead. Returns false if
-/// the file cannot be written.
+/// tracing throughput and the enabled-mode overhead, plus the mc
+/// progress-path record. Returns false if the file cannot be written or
+/// the progress-overhead gate trips.
 bool emit_json(const std::string& path) {
   bench::BenchJson json(path, "obs", "cycles_per_second");
   for (const synth::NamedDesign& d : synth::all_designs()) {
@@ -119,7 +195,8 @@ bool emit_json(const std::string& path) {
               << " enabled (" << format_double(overhead, 1)
               << "% overhead)\n";
   }
-  return json.finish();
+  const bool gate_ok = emit_progress_record(json);
+  return json.finish() && gate_ok;
 }
 
 }  // namespace

@@ -150,11 +150,10 @@ void print_frontier(const bench::BenchDesign& design) {
 /// written, the frontier output differs across thread counts, or the
 /// greedy endpoint is not weakly dominated by the frontier.
 bool emit_json(const std::string& path) {
+  // Cores matter for reading the numbers (the cached/pareto
+  // configurations fan candidate evaluation out, the uncached baseline
+  // is serial); they come from the BenchJson schema-v2 host stamp.
   bench::BenchJson json(path, "optimizer", "optimize_seconds");
-  // Cores matter for reading the numbers: the cached/pareto
-  // configurations fan candidate evaluation out over them, the
-  // uncached baseline is serial.
-  json.meta("cores", std::thread::hardware_concurrency());
   const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
   bool ok = true;
   for (const bench::BenchDesign& d : bench::bench_designs()) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 #include <iostream>
+#include <thread>
 
 namespace camad::bench {
 
@@ -37,8 +38,18 @@ BenchJson::BenchJson(const std::string& path, std::string_view bench,
     return;
   }
   writer_.begin_object();
+  writer_.kv("schema_version", kSchemaVersion);
   writer_.kv("bench", bench);
   writer_.kv("metric", metric);
+  writer_.key("host").begin_object();
+  writer_.kv("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+  writer_.kv("build_type", "release");
+#else
+  writer_.kv("build_type", "debug");
+#endif
+  writer_.end_object();
 }
 
 BenchJson& BenchJson::begin_design(std::string_view name) {

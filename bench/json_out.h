@@ -5,6 +5,7 @@
 // of per-tool hand-rolled ofstream writes.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -31,9 +32,15 @@ double rounded(double value, int digits);
 ///   json.begin_design("gcd").field("cycles_per_second", 1e6).end_design();
 ///   if (!json.finish()) return 1;
 ///
+/// Every document is stamped with schema_version and a "host" object
+/// (hardware threads, build type), so tools/bench_diff can refuse
+/// cross-schema comparisons and flag apples-to-oranges hosts.
 /// All calls are no-ops after an open failure; finish() reports it.
 class BenchJson {
  public:
+  /// Bump when the document shape changes incompatibly.
+  static constexpr std::uint64_t kSchemaVersion = 2;
+
   BenchJson(const std::string& path, std::string_view bench,
             std::string_view metric);
 

@@ -9,6 +9,7 @@
 #include "mc/encode.h"
 #include "mc/guards.h"
 #include "mc/store.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "petri/exec.h"
 #include "sim/batch.h"
@@ -353,6 +354,18 @@ struct Search {
                          static_cast<double>(frontier_refs.size()));
         session->counter("mc.states", static_cast<double>(store.size()));
       }
+      // Heartbeat slots, refreshed per level while the arenas are
+      // quiescent (memory_bytes reads every shard's capacities).
+      const bool live_progress = obs::progress_enabled();
+      if (live_progress) {
+        obs::ProgressCounters& pc = obs::progress();
+        pc.mc_frontier.store(frontier_refs.size(),
+                             std::memory_order_relaxed);
+        pc.mc_level.store(depth, std::memory_order_relaxed);
+        pc.mc_store_bytes.store(store.memory_bytes(),
+                                std::memory_order_relaxed);
+        pc.mc_updates.fetch_add(1, std::memory_order_relaxed);
+      }
 
       const std::size_t chunk_size =
           std::max<std::size_t>(1, frontier_refs.size() / (workers * 8));
@@ -365,6 +378,12 @@ struct Search {
                 std::min(begin + chunk_size, frontier_refs.size());
             for (std::size_t pos = begin; pos < end; ++pos) {
               expand(worker_state[worker], pos, depth);
+            }
+            // Per-chunk so long levels still show movement between
+            // heartbeats; publishing never feeds back into the search.
+            if (live_progress) {
+              obs::progress().mc_states.fetch_add(
+                  end - begin, std::memory_order_relaxed);
             }
           });
       result.state_count += frontier_refs.size();
@@ -488,6 +507,8 @@ struct Search {
     result.stats.shard_count = store_stats.shard_count;
     result.stats.max_shard_entries = store_stats.max_shard_entries;
     result.stats.max_probe_length = store_stats.max_probe_length;
+    result.stats.store_bytes = store_stats.bytes;
+    result.stats.shard_entries = store_stats.shard_entries;
     result.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

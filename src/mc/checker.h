@@ -78,6 +78,12 @@ struct McStats {
   std::size_t max_frontier = 0;
   std::size_t max_shard_entries = 0;
   std::size_t max_probe_length = 0;
+  /// Resident bytes of the visited store at the end of the run (slot
+  /// tables + hashes + packed-state arenas + trace metadata) — the
+  /// bytes-per-state denominator the 100M-state scaling work tracks.
+  std::size_t store_bytes = 0;
+  /// Final entry count per shard (occupancy histogram).
+  std::vector<std::size_t> shard_entries;
   double seconds = 0.0;
   double states_per_second = 0.0;
 };

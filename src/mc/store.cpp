@@ -84,11 +84,25 @@ std::size_t VisitedStore::size() const {
 StoreStats VisitedStore::stats() const {
   StoreStats out;
   out.shard_count = shards_.size();
+  out.shard_entries.reserve(shards_.size());
   for (const Shard& shard : shards_) {
     out.max_shard_entries = std::max(out.max_shard_entries, shard.count);
     out.max_probe_length = std::max(out.max_probe_length, shard.max_probe);
+    out.shard_entries.push_back(shard.count);
   }
+  out.bytes = memory_bytes();
   return out;
+}
+
+std::size_t VisitedStore::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    bytes += shard.slots.capacity() * sizeof(std::uint32_t);
+    bytes += shard.hashes.capacity() * sizeof(std::uint64_t);
+    bytes += shard.arena.capacity() * sizeof(std::uint64_t);
+    bytes += shard.meta.capacity() * sizeof(StateMeta);
+  }
+  return bytes;
 }
 
 void VisitedStore::for_each(

@@ -53,6 +53,11 @@ struct StoreStats {
   std::size_t shard_count = 0;
   std::size_t max_shard_entries = 0;
   std::size_t max_probe_length = 0;
+  /// Resident footprint (slot tables + hashes + arenas + metadata).
+  std::size_t bytes = 0;
+  /// Entry count per shard, shard order — the occupancy histogram the
+  /// memory-accounting gauges publish.
+  std::vector<std::size_t> shard_entries;
 };
 
 class VisitedStore {
@@ -83,6 +88,12 @@ class VisitedStore {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] StoreStats stats() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Resident bytes across all shards (vector capacities of the slot
+  /// tables, hash arrays, packed-state arenas and metadata records).
+  /// Safe only while no insert can run — the level-synchronized search
+  /// reads it between levels, like state().
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   /// Invokes fn(ref, words, meta) for every stored entry (single-threaded,
   /// after the search).

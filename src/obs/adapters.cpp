@@ -25,6 +25,10 @@ void publish_sim_stats(MetricsRegistry& registry, const sim::SimStats& stats,
   registry.add(base + ".misses", stats.plan_cache_misses);
   registry.add(base + ".evictions", stats.plan_cache_evictions);
   registry.set(base + ".size", static_cast<double>(stats.plan_cache_size));
+  if (stats.plan_cache_bytes > 0) {
+    registry.set(base + ".bytes",
+                 static_cast<double>(stats.plan_cache_bytes));
+  }
   if (stats.steps_evaluated + stats.steps_skipped > 0) {
     const std::string steps = joined(prefix, "steps");
     registry.add(steps + ".evaluated", stats.steps_evaluated);
@@ -42,6 +46,35 @@ void publish_sim_stats(MetricsRegistry& registry, const sim::SimStats& stats,
   }
   if (stats.lanes > 0) {
     registry.set(joined(prefix, "lanes"), static_cast<double>(stats.lanes));
+  }
+}
+
+void publish_mc_stats(MetricsRegistry& registry, const mc::McResult& result,
+                      std::string_view prefix) {
+  registry.add(joined(prefix, "states"), result.state_count);
+  registry.add(joined(prefix, "markings"), result.marking_count);
+  registry.add(joined(prefix, "depth"), result.depth);
+  registry.add(joined(prefix, "conflicts"), result.conflicts.size());
+  registry.set(joined(prefix, "states_per_second"),
+               result.stats.states_per_second);
+  registry.set(joined(prefix, "max_frontier"),
+               static_cast<double>(result.stats.max_frontier));
+  registry.set(joined(prefix, "threads"),
+               static_cast<double>(result.stats.threads));
+  const std::string store = joined(prefix, "store");
+  registry.set(store + ".bytes", static_cast<double>(result.stats.store_bytes));
+  if (result.state_count > 0) {
+    registry.set(store + ".bytes_per_state",
+                 static_cast<double>(result.stats.store_bytes) /
+                     static_cast<double>(result.state_count));
+  }
+  registry.set(store + ".shards",
+               static_cast<double>(result.stats.shard_count));
+  // One sample per shard: the histogram's min/mean/max read directly as
+  // the store's occupancy balance.
+  const std::string occupancy = store + ".shard_entries";
+  for (const std::size_t entries : result.stats.shard_entries) {
+    registry.observe(occupancy, static_cast<double>(entries));
   }
 }
 

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mc/checker.h"
 #include "obs/metrics.h"
 #include "semantics/analysis.h"
 #include "sim/simulator.h"
@@ -14,14 +15,23 @@
 
 namespace camad::obs {
 
-/// <prefix>.plan_cache.{hits,misses,evictions} counters and a
-/// <prefix>.plan_cache.size gauge. Sparse-engine runs additionally get
-/// <prefix>.steps.{evaluated,skipped} counters, an
+/// <prefix>.plan_cache.{hits,misses,evictions} counters and
+/// <prefix>.plan_cache.{size,bytes} gauges. Sparse-engine runs
+/// additionally get <prefix>.steps.{evaluated,skipped} counters, an
 /// <prefix>.activity_factor gauge and per-bucket
 /// <prefix>.wavefront.bucket_<b> counters; lane runs get a
 /// <prefix>.lanes gauge.
 void publish_sim_stats(MetricsRegistry& registry, const sim::SimStats& stats,
                        std::string_view prefix = "sim");
+
+/// Model-checker run summary: <prefix>.{states,markings,depth,conflicts}
+/// counters, <prefix>.{states_per_second,max_frontier,threads} gauges,
+/// and the store memory accounting —
+/// <prefix>.store.{bytes,bytes_per_state,shards} gauges plus a
+/// <prefix>.store.shard_entries histogram with one sample per shard (the
+/// occupancy balance across the sharded visited store).
+void publish_mc_stats(MetricsRegistry& registry, const mc::McResult& result,
+                      std::string_view prefix = "mc");
 
 /// Per-analysis <prefix>.<analysis>.{hits,misses,transfers} counters
 /// plus <prefix>.{hits,misses,transfers} totals and a <prefix>.hit_rate

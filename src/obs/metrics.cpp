@@ -28,7 +28,13 @@ void MetricsRegistry::set(std::string_view gauge, double value) {
 }
 
 void MetricsRegistry::observe(std::string_view histogram, double sample) {
-  if (!std::isfinite(sample)) return;
+  if (!std::isfinite(sample)) {
+    // Make the data loss visible in snapshots instead of silently
+    // shrinking the histogram's count.
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++counters_[std::string(histogram) + ".dropped"];
+    return;
+  }
   const std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(histogram);
   if (it == histograms_.end()) {

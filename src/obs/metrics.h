@@ -42,7 +42,9 @@ class MetricsRegistry {
   void add(std::string_view counter, std::uint64_t delta = 1);
   /// Last-write-wins gauge.
   void set(std::string_view gauge, double value);
-  /// Histogram sample (must be finite; non-finite samples are dropped).
+  /// Histogram sample. Non-finite samples never enter the histogram;
+  /// each one instead increments a `<histogram>.dropped` counter so the
+  /// loss shows up in snapshots.
   void observe(std::string_view histogram, double sample);
 
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;

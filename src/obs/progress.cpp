@@ -1,0 +1,123 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace camad::obs {
+
+void ProgressCounters::reset() {
+  mc_states.store(0, std::memory_order_relaxed);
+  mc_frontier.store(0, std::memory_order_relaxed);
+  mc_level.store(0, std::memory_order_relaxed);
+  mc_store_bytes.store(0, std::memory_order_relaxed);
+  mc_updates.store(0, std::memory_order_relaxed);
+  pareto_generation.store(0, std::memory_order_relaxed);
+  pareto_frontier_points.store(0, std::memory_order_relaxed);
+  pareto_hypervolume.store(0.0, std::memory_order_relaxed);
+  pareto_updates.store(0, std::memory_order_relaxed);
+  sim_seeds.store(0, std::memory_order_relaxed);
+  sim_updates.store(0, std::memory_order_relaxed);
+}
+
+ProgressCounters& progress() {
+  static ProgressCounters counters;
+  return counters;
+}
+
+namespace {
+
+std::string fixed(double value, int digits) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(ProgressMeterOptions options)
+    : options_(options), start_(std::chrono::steady_clock::now()),
+      last_(start_) {
+  progress().reset();
+  progress().enabled.store(true, std::memory_order_relaxed);
+  if (options_.interval_seconds >= 0.01) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+ProgressMeter::~ProgressMeter() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  progress().enabled.store(false, std::memory_order_relaxed);
+  emit(/*final_line=*/true);
+}
+
+void ProgressMeter::run() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.interval_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    emit(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void ProgressMeter::emit(bool final_line) {
+  ProgressCounters& c = progress();
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - start_).count();
+  const double dt = std::chrono::duration<double>(now - last_).count();
+  last_ = now;
+
+  std::ostringstream line;
+  line << "[progress " << fixed(elapsed, 1) << "s"
+       << (final_line ? " final" : "") << "]";
+  bool any = false;
+  if (c.mc_updates.load(std::memory_order_relaxed) > 0) {
+    const std::uint64_t states = c.mc_states.load(std::memory_order_relaxed);
+    const double rate =
+        dt > 0 ? static_cast<double>(states - last_mc_states_) / dt : 0.0;
+    last_mc_states_ = states;
+    line << " mc: states=" << states
+         << " frontier=" << c.mc_frontier.load(std::memory_order_relaxed)
+         << " level=" << c.mc_level.load(std::memory_order_relaxed)
+         << " rate=" << static_cast<std::uint64_t>(rate) << "/s"
+         << " store=" << c.mc_store_bytes.load(std::memory_order_relaxed)
+         << "B";
+    any = true;
+  }
+  if (c.pareto_updates.load(std::memory_order_relaxed) > 0) {
+    line << " pareto: gen="
+         << c.pareto_generation.load(std::memory_order_relaxed)
+         << " frontier="
+         << c.pareto_frontier_points.load(std::memory_order_relaxed)
+         << " hv="
+         << fixed(c.pareto_hypervolume.load(std::memory_order_relaxed), 4);
+    any = true;
+  }
+  if (c.sim_updates.load(std::memory_order_relaxed) > 0) {
+    const std::uint64_t seeds = c.sim_seeds.load(std::memory_order_relaxed);
+    const double rate =
+        dt > 0 ? static_cast<double>(seeds - last_sim_seeds_) / dt : 0.0;
+    last_sim_seeds_ = seeds;
+    line << " sim: seeds=" << seeds
+         << " rate=" << static_cast<std::uint64_t>(rate) << "/s";
+    any = true;
+  }
+  if (!any) line << " (no samples yet)";
+
+  std::ostream& out = options_.out != nullptr ? *options_.out : std::cerr;
+  out << line.str() << '\n';
+  out.flush();
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace camad::obs

@@ -1,0 +1,112 @@
+// Live progress heartbeats for the long-running engines.
+//
+// The engines publish into a process-wide set of lock-free atomic slots
+// (ProgressCounters): the mc BFS stores frontier size / level / store
+// bytes per level and adds expanded states per chunk, optimize_pareto
+// stores generation / frontier size / hypervolume per generation, and
+// the batch simulator counts retired runs. A ProgressMeter samples the
+// slots from its own thread and prints one heartbeat line per interval
+// to stderr (or an injected stream) — the `--progress[=secs]` CLI mode.
+//
+// Overhead contract (same shape as trace.h): with no meter attached a
+// publish site costs one relaxed atomic load (progress_enabled()) and
+// nothing else. Publishing never feeds back into the engines — slots are
+// plain atomics the engines only write — so results are byte-identical
+// with and without a meter; tests/obs_test.cpp and the
+// camadc_verify_progress_invariance ctest pin that invariance.
+//
+// One meter at a time: ProgressMeter's constructor claims the slots
+// (resetting them) and its destructor releases them and emits a final
+// summary line. Meters are not nested.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace camad::obs {
+
+/// The process-wide progress slots. Writers (engines) use relaxed
+/// stores/adds guarded by progress_enabled(); the single reader is the
+/// meter's sampler thread. The *_updates counters tell the meter which
+/// sections have ever published, so idle sections stay off the line.
+struct ProgressCounters {
+  std::atomic<bool> enabled{false};
+
+  // mc BFS: states adds per expansion chunk; the rest store per level.
+  std::atomic<std::uint64_t> mc_states{0};
+  std::atomic<std::uint64_t> mc_frontier{0};
+  std::atomic<std::uint64_t> mc_level{0};
+  std::atomic<std::uint64_t> mc_store_bytes{0};
+  std::atomic<std::uint64_t> mc_updates{0};
+
+  // optimize_pareto, stored once per generation.
+  std::atomic<std::uint64_t> pareto_generation{0};
+  std::atomic<std::uint64_t> pareto_frontier_points{0};
+  std::atomic<double> pareto_hypervolume{0.0};
+  std::atomic<std::uint64_t> pareto_updates{0};
+
+  // Batch simulation: one add per retired run.
+  std::atomic<std::uint64_t> sim_seeds{0};
+  std::atomic<std::uint64_t> sim_updates{0};
+
+  /// Zeroes every slot (not `enabled`). Meter-side only.
+  void reset();
+};
+
+/// The process-wide slot instance.
+ProgressCounters& progress();
+
+/// One relaxed load — the publish-site fast path.
+inline bool progress_enabled() {
+  return progress().enabled.load(std::memory_order_relaxed);
+}
+
+struct ProgressMeterOptions {
+  /// Seconds between heartbeat lines; values below 0.01 emit only the
+  /// final summary line.
+  double interval_seconds = 1.0;
+  /// Destination stream; nullptr = std::cerr.
+  std::ostream* out = nullptr;
+};
+
+/// RAII sampler: construction resets + enables the slots and starts the
+/// sampler thread; destruction stops it, disables the slots and emits a
+/// final summary line. Keep the meter alive until every publishing
+/// thread has joined, and destroy it before writing result files (the
+/// CLI pattern: construct, run, join, destroy, write).
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(ProgressMeterOptions options = {});
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Heartbeat lines written so far (final line included after ~).
+  [[nodiscard]] std::size_t lines_emitted() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void emit(bool final_line);
+
+  ProgressMeterOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_;
+  std::uint64_t last_mc_states_ = 0;
+  std::uint64_t last_sim_seeds_ = 0;
+  std::atomic<std::size_t> lines_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace camad::obs

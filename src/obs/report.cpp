@@ -1,0 +1,83 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "util/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace camad::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  // VmHWM is the high-water mark of the resident set, in kB.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kb = 0;
+    if (fields >> kb) return kb * 1024;
+    break;
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // ru_maxrss is kB on Linux/BSD, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+RunReport::RunReport(RunReportOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void RunReport::note(std::string_view key, std::string_view value) {
+  notes_.insert_or_assign(std::string(key), std::string(value));
+}
+
+void RunReport::write(std::ostream& out, int exit_status,
+                      const MetricsRegistry& metrics) const {
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  JsonWriter writer(out);
+  writer.begin_object();
+  writer.kv("schema_version", kSchemaVersion);
+  writer.kv("tool", options_.tool);
+  writer.kv("command", options_.command);
+  writer.kv("file", options_.file);
+  writer.key("args").begin_array();
+  for (const std::string& arg : options_.args) writer.value(arg);
+  writer.end_array();
+  writer.kv("wall_seconds", wall_seconds);
+  writer.kv("exit_status", exit_status);
+  writer.kv("peak_rss_bytes", peak_rss_bytes());
+  writer.kv("hardware_threads",
+            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  writer.key("notes").begin_object();
+  for (const auto& [key, value] : notes_) writer.kv(key, value);
+  writer.end_object();
+  // The registry renders its own complete document; strip the trailing
+  // newline so it embeds as a value.
+  std::string snapshot = metrics.to_json();
+  while (!snapshot.empty() && snapshot.back() == '\n') snapshot.pop_back();
+  writer.key("metrics").raw(snapshot);
+  writer.end_object();
+  out << '\n';
+}
+
+}  // namespace camad::obs

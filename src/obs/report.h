@@ -1,0 +1,62 @@
+// Machine-readable per-invocation run reports.
+//
+// A RunReport is one JSON artifact per CLI invocation — the
+// `--report[=FILE]` mode of every camadc subcommand and camad-gen. It
+// embeds what a later comparison needs to interpret the numbers:
+// the tool / subcommand / input file / argument list, wall time from
+// construction to write, the process exit status, peak RSS, free-form
+// notes (engine summaries, verdicts) and the full MetricsRegistry
+// snapshot, under a schema_version so downstream consumers (CI
+// artifacts, tools/bench_diff-style differs) can refuse documents they
+// do not understand.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace camad::obs {
+
+/// Peak resident set size of the calling process in bytes (VmHWM from
+/// /proc/self/status, getrusage fallback); 0 when unavailable.
+std::uint64_t peak_rss_bytes();
+
+struct RunReportOptions {
+  std::string tool;               ///< "camadc", "camad-gen"
+  std::string command;            ///< subcommand ("verify", "soak", ...)
+  std::string file;               ///< primary input path ("" if none)
+  std::vector<std::string> args;  ///< remaining argv, verbatim
+};
+
+class RunReport {
+ public:
+  /// Bump when the document shape changes incompatibly.
+  static constexpr std::uint64_t kSchemaVersion = 1;
+
+  /// Construction starts the wall clock.
+  explicit RunReport(RunReportOptions options);
+
+  /// Free-form string annotation ("verdict": "verified", "engine":
+  /// plan-cache summary, ...). Last write per key wins; keys sort in the
+  /// document.
+  void note(std::string_view key, std::string_view value);
+
+  /// Writes the complete JSON document: schema_version, tool, command,
+  /// file, args, wall_seconds, exit_status, peak_rss_bytes,
+  /// hardware_threads, notes and the embedded metrics snapshot.
+  void write(std::ostream& out, int exit_status,
+             const MetricsRegistry& metrics) const;
+
+ private:
+  RunReportOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, std::string, std::less<>> notes_;
+};
+
+}  // namespace camad::obs

@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/lanes.h"
 
@@ -71,6 +72,11 @@ std::vector<SimResult> simulate_batch(const dcf::System& system,
       simulators[w] = std::make_unique<Simulator>(system);
     }
     results[i] = simulators[w]->run(runs[i].environment, runs[i].options);
+    if (obs::progress_enabled()) {
+      obs::ProgressCounters& pc = obs::progress();
+      pc.sim_seeds.fetch_add(1, std::memory_order_relaxed);
+      pc.sim_updates.fetch_add(1, std::memory_order_relaxed);
+    }
   });
   return results;
 }
@@ -102,6 +108,11 @@ std::vector<SimResult> simulate_batch_lanes(const dcf::System& system,
     for (std::size_t i = begin; i < end; ++i) {
       runs[i] = std::move(block[i - begin]);
       results[i] = std::move(block_results[i - begin]);
+    }
+    if (obs::progress_enabled()) {
+      obs::ProgressCounters& pc = obs::progress();
+      pc.sim_seeds.fetch_add(end - begin, std::memory_order_relaxed);
+      pc.sim_updates.fetch_add(1, std::memory_order_relaxed);
     }
   });
   return results;

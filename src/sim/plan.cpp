@@ -309,4 +309,31 @@ std::vector<TransitionActions> compile_transition_actions(
   return actions;
 }
 
+std::size_t ConfigPlan::approx_bytes() const {
+  const auto bitset_bytes = [](const DynamicBitset& bits) {
+    return (bits.size() + 7) / 8;
+  };
+  std::size_t bytes = sizeof(ConfigPlan);
+  bytes += marked.capacity() * sizeof(petri::PlaceId);
+  bytes += bitset_bytes(arc_active);
+  bytes += controller.capacity() * sizeof(petri::PlaceId);
+  bytes += schedule.capacity() * sizeof(EvalStep);
+  bytes += written.capacity() * sizeof(std::uint32_t);
+  for (const std::string& conflict : drive_conflicts) {
+    bytes += conflict.capacity();
+  }
+  bytes += events.capacity() * sizeof(PlannedEvent);
+  bytes += bitset_bytes(candidate_mask);
+  bytes += candidates.capacity() * sizeof(petri::TransitionId);
+  bytes += conflict_checks.capacity() * sizeof(ConflictCheck);
+  for (const ConflictCheck& check : conflict_checks) {
+    bytes += check.candidates.capacity() * sizeof(petri::TransitionId);
+  }
+  bytes += sparse.leaf_steps.capacity() * sizeof(std::uint32_t);
+  bytes += sparse.dep_offsets.capacity() * sizeof(std::uint32_t);
+  bytes += sparse.dep_steps.capacity() * sizeof(std::uint32_t);
+  bytes += sparse.values.capacity() * sizeof(dcf::Value);
+  return bytes;
+}
+
 }  // namespace camad::sim

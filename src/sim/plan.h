@@ -116,6 +116,11 @@ struct ConfigPlan {
   std::vector<petri::TransitionId> candidates;  ///< ascending
   std::vector<ConflictCheck> conflict_checks;   ///< ascending by place
   SparseState sparse;  ///< kSparse engine extension (lazily built)
+
+  /// Approximate resident footprint in bytes (struct + vector
+  /// capacities + bitsets + the sparse snapshot) — the unit behind the
+  /// sim.plan_cache.bytes memory gauge.
+  [[nodiscard]] std::size_t approx_bytes() const;
 };
 
 /// Latch commits and stream advances triggered by one transition firing;

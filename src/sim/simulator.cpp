@@ -349,6 +349,11 @@ SimResult simulate_reference(const dcf::System& system, Environment& env,
   result.stats.plan_cache_misses = evaluator.cache().misses();
   result.stats.plan_cache_evictions = evaluator.cache().evictions();
   result.stats.plan_cache_size = evaluator.cache().size();
+  evaluator.cache().for_each(
+      [&](const DynamicBitset& key, const std::vector<PortId>& order) {
+        result.stats.plan_cache_bytes +=
+            (key.size() + 7) / 8 + order.capacity() * sizeof(PortId);
+      });
   return result;
 }
 
@@ -622,6 +627,9 @@ SimResult run_compiled(SimulatorState& state, Environment& env,
   result.stats.plan_cache_misses = state.plans.misses() - misses0;
   result.stats.plan_cache_evictions = state.plans.evictions() - evictions0;
   result.stats.plan_cache_size = state.plans.size();
+  state.plans.for_each([&](const DynamicBitset&, const ConfigPlan& plan) {
+    result.stats.plan_cache_bytes += plan.approx_bytes();
+  });
   if (obs::TraceSession* session = obs::TraceSession::active()) {
     // Cumulative across the simulator's lifetime, so repeated runs form a
     // monotone counter track.
@@ -667,6 +675,9 @@ SimStats& SimStats::operator+=(const SimStats& other) {
   plan_cache_misses += other.plan_cache_misses;
   plan_cache_evictions += other.plan_cache_evictions;
   plan_cache_size = std::max(plan_cache_size, other.plan_cache_size);
+  // Like size: distinct caches are not additive, keep the largest
+  // resident footprint seen.
+  plan_cache_bytes = std::max(plan_cache_bytes, other.plan_cache_bytes);
   steps_evaluated += other.steps_evaluated;
   steps_skipped += other.steps_skipped;
   for (std::size_t i = 0; i < kWavefrontBuckets; ++i) {
@@ -682,6 +693,9 @@ std::string SimStats::to_string() const {
                     " misses, " + std::to_string(plan_cache_evictions) +
                     " evictions, " + std::to_string(plan_cache_size) +
                     " resident";
+  if (plan_cache_bytes > 0) {
+    out += " (" + std::to_string(plan_cache_bytes) + " bytes)";
+  }
   if (steps_evaluated + steps_skipped > 0) {
     const double percent = 100.0 * activity_factor();
     const std::string rounded = std::to_string(percent);

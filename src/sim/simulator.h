@@ -92,6 +92,9 @@ struct SimStats {
   std::uint64_t plan_cache_misses = 0;
   std::uint64_t plan_cache_evictions = 0;
   std::uint64_t plan_cache_size = 0;  ///< resident entries after the run
+  /// Approximate resident bytes of the plan cache after the run (vector
+  /// capacities of every cached plan, sparse snapshots included).
+  std::uint64_t plan_cache_bytes = 0;
 
   // --- sparse engine (zero under the other engines) ---
   /// Schedule steps actually executed / proven byte-identical to the

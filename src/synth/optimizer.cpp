@@ -10,6 +10,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "dcf/io.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "semantics/equivalence.h"
 #include "sim/batch.h"
@@ -694,6 +696,22 @@ ParetoResult optimize_pareto(const dcf::System& serial,
       session->counter("pareto.frontier_size",
                        static_cast<std::int64_t>(frontier.size()));
     }
+    if (obs::progress_enabled()) {
+      obs::ProgressCounters& pc = obs::progress();
+      pc.pareto_generation.store(gen + 1, std::memory_order_relaxed);
+      pc.pareto_frontier_points.store(frontier.size(),
+                                      std::memory_order_relaxed);
+      // Normalized hypervolume is cheap (frontier-sized staircase sweep)
+      // and only computed when a meter is live.
+      const double hv =
+          (initial.area > 0 && initial.time_ns > 0)
+              ? frontier.hypervolume(kHypervolumeRef * initial.area,
+                                     kHypervolumeRef * initial.time_ns) /
+                    (initial.area * initial.time_ns)
+              : 0.0;
+      pc.pareto_hypervolume.store(hv, std::memory_order_relaxed);
+      pc.pareto_updates.fetch_add(1, std::memory_order_relaxed);
+    }
 
     // Beam selection. Reserved λ-grid slots first: for each λ the
     // earliest-job-index argmin of the scalarized objective (the greedy
@@ -796,6 +814,11 @@ ParetoResult optimize_pareto(const dcf::System& serial,
   }
 
   result.frontier = frontier.points();
+  for (const FrontierPoint& point : result.frontier) {
+    result.frontier_bytes += sizeof(FrontierPoint) +
+                             dcf::save_system(point.master).size() +
+                             dcf::save_system(point.scheduled).size();
+  }
   result.hypervolume =
       (initial.area > 0 && initial.time_ns > 0)
           ? frontier.hypervolume(kHypervolumeRef * initial.area,

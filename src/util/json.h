@@ -1,7 +1,7 @@
-// Minimal JSON emission shared by the observability exporters
-// (obs::TraceSession, obs::MetricsRegistry) and the bench record writers
-// (bench/json_out.h). Writing only — parsing lives with the consumers
-// that need it (tests/obs_test.cpp carries a tiny validator).
+// Minimal JSON emission and parsing shared by the observability
+// exporters (obs::TraceSession, obs::MetricsRegistry, obs::RunReport),
+// the bench record writers (bench/json_out.h) and the consumers that
+// read those documents back (tools/bench_diff, tests).
 #pragma once
 
 #include <cstdint>
@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace camad {
@@ -85,5 +86,33 @@ class JsonWriter {
   std::vector<std::size_t> counts_;
   bool after_key_ = false;
 };
+
+/// Parsed JSON value tree. Small and concrete on purpose: the documents
+/// this library reads back are its own BENCH_*.json / metrics / report
+/// artifacts, so numbers fit in double and objects keep insertion order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object (first match); nullptr when absent or
+  /// when this value is not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else
+/// after the root value). Throws camad::Error with a byte offset on
+/// malformed input.
+JsonValue json_parse(std::string_view text);
 
 }  // namespace camad

@@ -60,6 +60,13 @@ class LruCache {
   /// pointer), keeping hit+miss totals meaningful for such callers.
   void note_hit() { ++hits_; }
 
+  /// Invokes fn(key, value) for every resident entry, most recently used
+  /// first. Recency order is not mutated.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& entry : entries_) fn(entry.key, entry.value);
+  }
+
  private:
   struct Entry {
     Key key;

@@ -9,19 +9,29 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
 
+#include "mc/checker.h"
 #include "obs/adapters.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/batch.h"
 #include "sim/simulator.h"
+#include "synth/compile.h"
+#include "synth/designs.h"
+#include "synth/optimizer.h"
+#include "workloads.h"
 
 namespace camad {
 namespace {
@@ -383,6 +393,214 @@ TEST(MetricsAdapters, PublishSimStatsMatchesSource) {
   EXPECT_EQ(doc.object().at("gauges").object().at("sim.plan_cache.size")
                 .number(),
             2.0);
+}
+
+TEST(MetricsRegistry, NonFiniteObservationsAreDroppedAndCounted) {
+  obs::MetricsRegistry metrics;
+  metrics.observe("latency", 2.0);
+  metrics.observe("latency", std::numeric_limits<double>::quiet_NaN());
+  metrics.observe("latency", std::numeric_limits<double>::infinity());
+  metrics.observe("latency", -std::numeric_limits<double>::infinity());
+  metrics.observe("latency", 4.0);
+
+  const JsonValue doc = JsonParser(metrics.to_json()).parse();
+  const JsonObject& latency =
+      doc.object().at("histograms").object().at("latency").object();
+  EXPECT_EQ(latency.at("count").number(), 2.0);
+  EXPECT_EQ(latency.at("min").number(), 2.0);
+  EXPECT_EQ(latency.at("max").number(), 4.0);
+  EXPECT_EQ(
+      doc.object().at("counters").object().at("latency.dropped").number(),
+      3.0);
+}
+
+// --- RunReport ------------------------------------------------------------
+
+TEST(RunReport, DocumentMatchesMiniSchema) {
+  obs::RunReportOptions options;
+  options.tool = "camadc";
+  options.command = "verify";
+  options.file = "design.bdl";
+  options.args = {"--progress", "--report=report.json"};
+  obs::RunReport report(options);
+  report.note("verdict", "verified");
+  report.note("verdict", "refuted");  // last write per key wins
+
+  obs::MetricsRegistry metrics;
+  metrics.add("mc.states", 42);
+  metrics.set("mc.store.bytes", 1024.0);
+
+  std::ostringstream out;
+  report.write(out, 3, metrics);
+
+  const JsonValue doc = JsonParser(out.str()).parse();
+  ASSERT_TRUE(doc.is_object());
+  const JsonObject& root = doc.object();
+  EXPECT_EQ(root.at("schema_version").number(),
+            static_cast<double>(obs::RunReport::kSchemaVersion));
+  EXPECT_EQ(root.at("tool").string(), "camadc");
+  EXPECT_EQ(root.at("command").string(), "verify");
+  EXPECT_EQ(root.at("file").string(), "design.bdl");
+  ASSERT_EQ(root.at("args").array().size(), 2u);
+  EXPECT_EQ(root.at("args").array()[0].string(), "--progress");
+  EXPECT_GE(root.at("wall_seconds").number(), 0.0);
+  EXPECT_EQ(root.at("exit_status").number(), 3.0);
+  EXPECT_GE(root.at("peak_rss_bytes").number(), 0.0);
+  EXPECT_GE(root.at("hardware_threads").number(), 1.0);
+  EXPECT_EQ(root.at("notes").object().at("verdict").string(), "refuted");
+  const JsonObject& embedded = root.at("metrics").object();
+  EXPECT_EQ(embedded.at("counters").object().at("mc.states").number(), 42.0);
+  EXPECT_EQ(embedded.at("gauges").object().at("mc.store.bytes").number(),
+            1024.0);
+}
+
+TEST(RunReport, PeakRssIsPlausible) {
+  const std::uint64_t rss = obs::peak_rss_bytes();
+  // /proc/self/status is available everywhere we run; a gtest process
+  // has touched well over a megabyte by now.
+  EXPECT_GT(rss, 1u << 20);
+}
+
+// --- ProgressMeter: output invariance -------------------------------------
+
+TEST(Progress, DisabledByDefaultEnabledUnderMeter) {
+  EXPECT_FALSE(obs::progress_enabled());
+  std::ostringstream sink;
+  {
+    obs::ProgressMeter meter(obs::ProgressMeterOptions{0.0, &sink});
+    EXPECT_TRUE(obs::progress_enabled());
+  }
+  EXPECT_FALSE(obs::progress_enabled());
+}
+
+TEST(Progress, McVerdictsInvariantUnderMeter) {
+  bench::SpNetOptions sp;
+  sp.depth = 1;
+  sp.width = 6;
+  sp.chain = 3;
+  const petri::Net net = bench::random_sp_net(/*seed=*/3, sp);
+  mc::McOptions options;
+  options.threads = 2;
+
+  const mc::McResult plain = mc::model_check(net, options);
+
+  std::ostringstream sink;
+  mc::McResult metered;
+  {
+    obs::ProgressMeter meter(obs::ProgressMeterOptions{0.0, &sink});
+    metered = mc::model_check(net, options);
+  }
+
+  EXPECT_TRUE(mc::same_verdicts(plain, metered));
+  EXPECT_EQ(plain.state_count, metered.state_count);
+  const std::string lines = sink.str();
+  EXPECT_NE(lines.find("mc:"), std::string::npos) << lines;
+  EXPECT_NE(lines.find("states="), std::string::npos) << lines;
+  EXPECT_NE(lines.find("store="), std::string::npos) << lines;
+}
+
+TEST(Progress, ParetoFrontierJsonInvariantUnderMeter) {
+  const dcf::System serial = synth::compile_source(synth::gcd_source());
+  const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
+  synth::ParetoOptions options;
+  options.beam_width = 2;
+  options.generations = 3;
+  options.measure.environments = 1;
+  options.verify_frontier = false;
+  options.eval_threads = 1;
+
+  const synth::ParetoResult plain = synth::optimize_pareto(serial, lib,
+                                                           options);
+
+  std::ostringstream sink;
+  std::string metered_json;
+  {
+    obs::ProgressMeter meter(obs::ProgressMeterOptions{0.0, &sink});
+    const synth::ParetoResult metered =
+        synth::optimize_pareto(serial, lib, options);
+    metered_json = synth::frontier_to_json(metered, "gcd");
+    EXPECT_GT(metered.frontier_bytes, 0u);
+  }
+
+  EXPECT_EQ(synth::frontier_to_json(plain, "gcd"), metered_json);
+  EXPECT_NE(sink.str().find("pareto:"), std::string::npos) << sink.str();
+}
+
+TEST(Progress, BatchSimPublishesRetiredSeeds) {
+  const dcf::System system = synth::compile_source(synth::gcd_source());
+  std::ostringstream sink;
+  {
+    obs::ProgressMeter meter(obs::ProgressMeterOptions{0.0, &sink});
+    sim::simulate_batch_seeds(system, /*base_seed=*/1, /*count=*/8,
+                              /*stream_length=*/16, {}, /*threads=*/2);
+  }
+  const std::string lines = sink.str();
+  EXPECT_NE(lines.find("sim: seeds=8"), std::string::npos) << lines;
+}
+
+// --- Memory accounting ----------------------------------------------------
+
+// The fork8x4 bench_mc workload (65539 states) doubles as the
+// memory-gauge reference: store bytes must be live, per-state cost must
+// sit in a sane band, and the published gauges must match the result.
+TEST(MemoryAccounting, McStoreGaugesBoundedOnForkWorkload) {
+  bench::SpNetOptions sp;
+  sp.depth = 1;
+  sp.width = 8;
+  sp.chain = 4;
+  const petri::Net net = bench::random_sp_net(/*seed=*/3, sp);
+  mc::McOptions options;
+  options.threads = 2;
+  const mc::McResult result = mc::model_check(net, options);
+  ASSERT_TRUE(result.complete);
+  EXPECT_GT(result.state_count, 60000u);
+
+  ASSERT_GT(result.stats.store_bytes, 0u);
+  const double bytes_per_state =
+      static_cast<double>(result.stats.store_bytes) /
+      static_cast<double>(result.state_count);
+  EXPECT_GE(bytes_per_state, 8.0);
+  EXPECT_LE(bytes_per_state, 4096.0);
+
+  ASSERT_EQ(result.stats.shard_entries.size(), result.stats.shard_count);
+  std::size_t stored = 0;
+  for (const std::size_t entries : result.stats.shard_entries) {
+    stored += entries;
+  }
+  EXPECT_EQ(stored, result.state_count);
+
+  obs::MetricsRegistry metrics;
+  obs::publish_mc_stats(metrics, result);
+  const JsonValue doc = JsonParser(metrics.to_json()).parse();
+  const JsonObject& gauges = doc.object().at("gauges").object();
+  EXPECT_EQ(gauges.at("mc.store.bytes").number(),
+            static_cast<double>(result.stats.store_bytes));
+  EXPECT_EQ(gauges.at("mc.store.shards").number(),
+            static_cast<double>(result.stats.shard_count));
+  EXPECT_NEAR(gauges.at("mc.store.bytes_per_state").number(),
+              bytes_per_state, 1e-6);
+  EXPECT_EQ(doc.object().at("counters").object().at("mc.states").number(),
+            static_cast<double>(result.state_count));
+  const JsonObject& occupancy =
+      doc.object().at("histograms").object().at("mc.store.shard_entries")
+          .object();
+  EXPECT_EQ(occupancy.at("count").number(),
+            static_cast<double>(result.stats.shard_count));
+}
+
+TEST(MemoryAccounting, PlanCacheBytesFlowThroughAdapter) {
+  const dcf::System system = synth::compile_source(synth::gcd_source());
+  sim::Environment env = bench::fixed_environment(system, "gcd");
+  sim::SimOptions options;
+  const sim::SimResult result = sim::simulate(system, env, options);
+  EXPECT_GT(result.stats.plan_cache_bytes, 0u);
+
+  obs::MetricsRegistry metrics;
+  obs::publish_sim_stats(metrics, result.stats);
+  const JsonValue doc = JsonParser(metrics.to_json()).parse();
+  EXPECT_EQ(doc.object().at("gauges").object().at("sim.plan_cache.bytes")
+                .number(),
+            static_cast<double>(result.stats.plan_cache_bytes));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "util/dot.h"
 #include "util/error.h"
 #include "util/ids.h"
+#include "util/json.h"
 #include "util/lru.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -300,6 +301,53 @@ TEST(Lru, ShrinkingCapacityEvictsImmediately) {
   ASSERT_NE(cache.find(0), nullptr);
   ASSERT_NE(cache.find(7), nullptr);
   EXPECT_EQ(cache.find(3), nullptr);
+}
+
+TEST(JsonParse, ParsesNestedDocumentPreservingOrder) {
+  const JsonValue doc = json_parse(
+      R"({"b":1.5,"a":[true,null,"x\n"],"nested":{"k":-2e3}})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "b");  // insertion order, not sorted
+  EXPECT_EQ(doc.object[1].first, "a");
+  const JsonValue* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->is_number());
+  EXPECT_EQ(b->number, 1.5);
+  const JsonValue* a = doc.find("a");
+  ASSERT_TRUE(a != nullptr && a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_TRUE(a->array[0].boolean);
+  EXPECT_EQ(a->array[2].string, "x\n");
+  const JsonValue* k = doc.find("nested")->find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->number, -2000.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  std::ostringstream os;
+  {
+    JsonWriter writer(os);
+    writer.begin_object();
+    writer.kv("schema_version", std::uint64_t{2});
+    writer.key("values").begin_array();
+    writer.value(1.25).value(false).value("q\"uote");
+    writer.end_array();
+    writer.end_object();
+  }
+  const JsonValue doc = json_parse(os.str());
+  EXPECT_EQ(doc.find("schema_version")->number, 2.0);
+  const JsonValue& values = *doc.find("values");
+  ASSERT_EQ(values.array.size(), 3u);
+  EXPECT_EQ(values.array[2].string, "q\"uote");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse("{\"a\":}"), Error);
+  EXPECT_THROW(json_parse("[1, 2"), Error);
+  EXPECT_THROW(json_parse("{} trailing"), Error);
+  EXPECT_THROW(json_parse(""), Error);
 }
 
 }  // namespace

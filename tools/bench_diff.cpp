@@ -1,0 +1,257 @@
+// bench_diff — CI perf-regression guard over two BENCH_*.json files.
+//
+//   bench_diff BASELINE.json CURRENT.json [--threshold=PCT] [--skip=S,S,...]
+//
+// Compares every numeric per-design metric of BASELINE against CURRENT
+// with a direction inferred from the metric name:
+//
+//   * ...overhead_percent        lower is better; a regression is an
+//                                increase of more than --threshold
+//                                absolute percentage points;
+//   * ..._per_second, ...speedup..., hypervolume
+//                                higher is better; a regression is a
+//                                drop of more than --threshold percent;
+//   * ..._seconds...             lower is better; a regression is an
+//                                increase of more than --threshold
+//                                percent;
+//   * threads                    host-dependent, never compared;
+//   * anything else numeric      invariant (states, depth, store_bytes,
+//                                ...): any change is flagged — these are
+//                                deterministic, so a drift means either
+//                                a real behaviour change or a stale
+//                                baseline.
+//
+// A design or metric present in BASELINE but missing from CURRENT is a
+// regression (coverage must not silently shrink; new designs in CURRENT
+// are fine). Documents must agree on schema_version and bench name —
+// anything else is a comparison error, not a pass.
+//
+// --skip=S,S drops metrics whose name contains any listed substring
+// (e.g. --skip=speedup,seconds on shared runners where wall-clock is
+// noise but rates still bound gross regressions).
+//
+// Exit status: 0 no regressions, 1 regression(s) found, 2 usage /
+// parse / schema mismatch.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+using namespace camad;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: bench_diff BASELINE.json CURRENT.json"
+    " [--threshold=PCT] [--skip=SUBSTR,SUBSTR,...]\n";
+
+enum class Direction {
+  kHigherBetter,    ///< regression = relative drop beyond threshold
+  kLowerBetter,     ///< regression = relative rise beyond threshold
+  kLowerAbsolute,   ///< regression = rise beyond threshold points
+  kInvariant,       ///< regression = any change
+  kIgnored,         ///< never compared
+};
+
+bool contains(std::string_view name, std::string_view needle) {
+  return name.find(needle) != std::string_view::npos;
+}
+
+Direction classify(std::string_view name) {
+  if (name == "threads") return Direction::kIgnored;
+  if (contains(name, "overhead_percent")) return Direction::kLowerAbsolute;
+  if (contains(name, "_per_second") || contains(name, "speedup") ||
+      name == "hypervolume") {
+    return Direction::kHigherBetter;
+  }
+  if (contains(name, "seconds")) return Direction::kLowerBetter;
+  return Direction::kInvariant;
+}
+
+JsonValue load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return json_parse(os.str());
+}
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+/// Top-level compatibility: schema_version and bench name must agree.
+/// Returns an error message, or nullopt when comparable.
+std::optional<std::string> incompatible(const JsonValue& base,
+                                        const JsonValue& cur) {
+  const JsonValue* bs = base.find("schema_version");
+  const JsonValue* cs = cur.find("schema_version");
+  if (bs == nullptr || !bs->is_number() || cs == nullptr ||
+      !cs->is_number()) {
+    return "missing schema_version (regenerate with a current bench build)";
+  }
+  if (bs->number != cs->number) {
+    return "schema_version mismatch: baseline " + fmt(bs->number) +
+           " vs current " + fmt(cs->number);
+  }
+  const JsonValue* bb = base.find("bench");
+  const JsonValue* cb = cur.find("bench");
+  if (bb == nullptr || !bb->is_string() || cb == nullptr ||
+      !cb->is_string()) {
+    return "missing bench name";
+  }
+  if (bb->string != cb->string) {
+    return "bench mismatch: baseline '" + bb->string + "' vs current '" +
+           cb->string + "'";
+  }
+  return std::nullopt;
+}
+
+struct Options {
+  std::string baseline;
+  std::string current;
+  double threshold = 10.0;
+  std::vector<std::string> skip;
+};
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (std::strncmp(arg.c_str(), "--threshold=", 12) == 0) {
+      out.threshold = std::stod(arg.substr(12));
+    } else if (std::strncmp(arg.c_str(), "--skip=", 7) == 0) {
+      for (const std::string& item : split(arg.substr(7), ',')) {
+        if (!item.empty()) out.skip.push_back(item);
+      }
+    } else if (starts_with(arg, "--")) {
+      return std::nullopt;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return std::nullopt;
+  out.baseline = positional[0];
+  out.current = positional[1];
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> options = parse_args(argc, argv);
+  if (!options) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  JsonValue base;
+  JsonValue cur;
+  try {
+    base = load(options->baseline);
+    cur = load(options->current);
+  } catch (const Error& e) {
+    std::cerr << "bench_diff: " << e.what() << '\n';
+    return 2;
+  }
+  if (const auto why = incompatible(base, cur)) {
+    std::cerr << "bench_diff: " << *why << '\n';
+    return 2;
+  }
+  const JsonValue* base_designs = base.find("designs");
+  const JsonValue* cur_designs = cur.find("designs");
+  if (base_designs == nullptr || !base_designs->is_array() ||
+      cur_designs == nullptr || !cur_designs->is_array()) {
+    std::cerr << "bench_diff: missing designs array\n";
+    return 2;
+  }
+
+  const auto find_design = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& d : cur_designs->array) {
+      const JsonValue* n = d.find("design");
+      if (n != nullptr && n->is_string() && n->string == name) return &d;
+    }
+    return nullptr;
+  };
+  const auto skipped = [&](std::string_view metric) {
+    for (const std::string& s : options->skip) {
+      if (contains(metric, s)) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> regressions;
+  std::size_t compared = 0;
+  for (const JsonValue& bd : base_designs->array) {
+    const JsonValue* name = bd.find("design");
+    if (name == nullptr || !name->is_string()) continue;
+    const JsonValue* cd = find_design(name->string);
+    if (cd == nullptr) {
+      regressions.push_back("design '" + name->string +
+                            "' missing from current");
+      continue;
+    }
+    for (const auto& [metric, bv] : bd.object) {
+      if (!bv.is_number() || skipped(metric)) continue;
+      const Direction dir = classify(metric);
+      if (dir == Direction::kIgnored) continue;
+      const JsonValue* cv = cd->find(metric);
+      if (cv == nullptr || !cv->is_number()) {
+        regressions.push_back(name->string + "." + metric +
+                              ": missing from current");
+        continue;
+      }
+      ++compared;
+      const double b = bv.number;
+      const double c = cv->number;
+      const double t = options->threshold;
+      std::string why;
+      switch (dir) {
+        case Direction::kHigherBetter:
+          if (b > 0 && c < b * (1.0 - t / 100.0)) {
+            why = "dropped " + fmt((1.0 - c / b) * 100.0) + "% (threshold " +
+                  fmt(t) + "%)";
+          }
+          break;
+        case Direction::kLowerBetter:
+          if (b > 0 && c > b * (1.0 + t / 100.0)) {
+            why = "rose " + fmt((c / b - 1.0) * 100.0) + "% (threshold " +
+                  fmt(t) + "%)";
+          }
+          break;
+        case Direction::kLowerAbsolute:
+          if (c > b + t) {
+            why = "rose " + fmt(c - b) + " points (threshold " + fmt(t) +
+                  " points)";
+          }
+          break;
+        case Direction::kInvariant:
+          if (c != b) why = "changed (invariant metric)";
+          break;
+        case Direction::kIgnored:
+          break;
+      }
+      if (!why.empty()) {
+        regressions.push_back(name->string + "." + metric + ": baseline " +
+                              fmt(b) + ", current " + fmt(c) + " — " + why);
+      }
+    }
+  }
+
+  for (const std::string& r : regressions) {
+    std::cout << "REGRESSION " << r << '\n';
+  }
+  std::cout << "bench_diff: " << compared << " metric(s) compared, "
+            << regressions.size() << " regression(s)\n";
+  return regressions.empty() ? 0 : 1;
+}

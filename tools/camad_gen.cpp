@@ -30,6 +30,7 @@
 
 #include "gen/oracle.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "util/error.h"
 
 using namespace camad;
@@ -49,7 +50,10 @@ constexpr const char* kUsage =
     "                    histogram as JSON (default metrics.json)\n"
     "  corpus FILE       replay a seed-corpus file\n"
     "  --out-dir DIR     write failing artifacts to DIR\n"
-    "  --mc-crosscheck   add the model-checker cross-check stage\n";
+    "  --mc-crosscheck   add the model-checker cross-check stage\n"
+    "  --report[=F]      write a machine-readable run report (args, wall\n"
+    "                    time, exit status, peak RSS, gen.* counters;\n"
+    "                    default report.json)\n";
 
 struct Args {
   std::string command;
@@ -81,11 +85,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      // --metrics is a flag when bare, --metrics=FILE overrides the path.
-      if (const auto eq = arg.find('=');
-          eq != std::string::npos && arg.substr(0, eq) == "--metrics") {
-        args.options.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
-        continue;
+      // --metrics/--report are flags when bare; an inline =FILE
+      // overrides the default output path.
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        const std::string key = arg.substr(0, eq);
+        if (key == "--metrics" || key == "--report") {
+          args.options.emplace_back(key, arg.substr(eq + 1));
+          continue;
+        }
       }
       const bool takes_value =
           std::find(value_options.begin(), value_options.end(), arg) !=
@@ -126,7 +133,7 @@ std::vector<gen::OracleLevel> levels_from(const Args& args) {
   throw Error("unknown --level '" + *level + "'");
 }
 
-int cmd_seed(const Args& args) {
+int cmd_seed(const Args& args, obs::MetricsRegistry& metrics) {
   if (args.positional.size() != 1) throw Error("seed: expected one seed");
   const std::uint64_t seed = std::stoull(args.positional[0]);
   gen::OracleOptions options;
@@ -151,17 +158,19 @@ int cmd_seed(const Args& args) {
   bool failed = false;
   for (const gen::OracleLevel level : levels_from(args)) {
     const gen::OracleOutcome out = gen::run_seed(seed, level, options);
+    metrics.add("gen.runs");
     if (out.ok) {
       std::cout << out.to_string() << '\n';
     } else {
       failed = true;
+      metrics.add("gen.failures");
       report_failure(out, args.option("--out-dir"));
     }
   }
   return failed ? 1 : 0;
 }
 
-int cmd_range(const Args& args) {
+int cmd_range(const Args& args, obs::MetricsRegistry& metrics) {
   if (args.positional.size() != 2) {
     throw Error("range: expected FIRST COUNT");
   }
@@ -171,6 +180,8 @@ int cmd_range(const Args& args) {
   options.mc_crosscheck = args.flag("--mc-crosscheck");
   const std::vector<gen::OracleOutcome> failures =
       gen::run_seed_range(first, count, options);
+  metrics.add("gen.runs", count * 2);
+  metrics.add("gen.failures", failures.size());
   for (const gen::OracleOutcome& out : failures) {
     report_failure(out, args.option("--out-dir"));
   }
@@ -179,7 +190,7 @@ int cmd_range(const Args& args) {
   return failures.empty() ? 0 : 1;
 }
 
-int cmd_soak(const Args& args) {
+int cmd_soak(const Args& args, obs::MetricsRegistry& metrics) {
   if (args.positional.size() != 1) throw Error("soak: expected MINUTES");
   const double minutes = std::stod(args.positional[0]);
   std::uint64_t seed = 1;
@@ -198,7 +209,6 @@ int cmd_soak(const Args& args) {
   } else if (args.flag("--metrics")) {
     metrics_path = "metrics.json";
   }
-  obs::MetricsRegistry metrics;
   std::size_t ran = 0;
   std::size_t failed = 0;
   while (std::chrono::steady_clock::now() < deadline) {
@@ -207,6 +217,7 @@ int cmd_soak(const Args& args) {
       const auto t0 = std::chrono::steady_clock::now();
       const gen::OracleOutcome out = gen::run_seed(seed, level, options);
       ++ran;
+      metrics.add("gen.runs");
       metrics.add("soak.runs");
       metrics.add(std::string("soak.runs.") +
                   std::string(gen::level_name(level)));
@@ -216,6 +227,7 @@ int cmd_soak(const Args& args) {
                           .count());
       if (!out.ok) {
         ++failed;
+        metrics.add("gen.failures");
         metrics.add("soak.failures");
         metrics.add("soak.failures." + out.stage);
         report_failure(out, args.option("--out-dir"));
@@ -235,7 +247,7 @@ int cmd_soak(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
-int cmd_corpus(const Args& args) {
+int cmd_corpus(const Args& args, obs::MetricsRegistry& metrics) {
   if (args.positional.size() != 1) throw Error("corpus: expected FILE");
   const std::vector<gen::CorpusEntry> entries =
       gen::load_corpus_file(args.positional[0]);
@@ -245,11 +257,13 @@ int cmd_corpus(const Args& args) {
   for (const gen::CorpusEntry& entry : entries) {
     const gen::OracleOutcome out =
         gen::run_seed(entry.seed, entry.level, options);
+    metrics.add("gen.runs");
     std::cout << out.to_string();
     if (!entry.note.empty()) std::cout << "  (" << entry.note << ")";
     std::cout << '\n';
     if (!out.ok) {
       ++failed;
+      metrics.add("gen.failures");
       report_failure(out, args.option("--out-dir"));
     }
   }
@@ -267,12 +281,48 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    if (args->command == "seed") return cmd_seed(*args);
-    if (args->command == "range") return cmd_range(*args);
-    if (args->command == "soak") return cmd_soak(*args);
-    if (args->command == "corpus") return cmd_corpus(*args);
-    std::cerr << kUsage;
-    return 2;
+    // One registry for the whole invocation: cmd_soak's --metrics file
+    // and the --report snapshot both read from it.
+    obs::MetricsRegistry metrics;
+    std::optional<obs::RunReport> report;
+    std::string report_path;
+    if (const auto path = args->option("--report")) {
+      report_path = *path;
+    } else if (args->flag("--report")) {
+      report_path = "report.json";
+    }
+    if (!report_path.empty()) {
+      std::vector<std::string> rest = args->positional;
+      for (const auto& [k, v] : args->options) rest.push_back(k + "=" + v);
+      for (const std::string& f : args->flags) rest.push_back(f);
+      report.emplace(obs::RunReportOptions{
+          "camad-gen", args->command,
+          args->positional.empty() ? "" : args->positional.front(),
+          std::move(rest)});
+    }
+
+    int status = 2;
+    if (args->command == "seed") {
+      status = cmd_seed(*args, metrics);
+    } else if (args->command == "range") {
+      status = cmd_range(*args, metrics);
+    } else if (args->command == "soak") {
+      status = cmd_soak(*args, metrics);
+    } else if (args->command == "corpus") {
+      status = cmd_corpus(*args, metrics);
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+    if (report) {
+      metrics.set("process.peak_rss_bytes",
+                  static_cast<double>(obs::peak_rss_bytes()));
+      std::ofstream out(report_path);
+      if (!out) throw Error("cannot write '" + report_path + "'");
+      report->write(out, status, metrics);
+      std::cerr << "report written to " << report_path << '\n';
+    }
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "camad-gen: " << e.what() << '\n';
     return 2;

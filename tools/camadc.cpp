@@ -26,12 +26,17 @@
 // dead, markings, states; '-' skips a key) and exits 0 only on a
 // complete, fully matching run — the corpus ctest tier is built on it.
 //
-// Telemetry (transform / synth / sim): `--trace[=FILE]` records a
+// Telemetry (every subcommand): `--trace[=FILE]` records a
 // Chrome-trace-event timeline (chrome://tracing / Perfetto), default
 // trace.json; `--trace-deterministic` switches it to logical clocks for
 // byte-identical reruns; `--metrics[=FILE]` snapshots counters/gauges/
-// histograms as JSON, default metrics.json. On `sim`, bare `--trace`
-// keeps its historical meaning (print the event trace as text), so the
+// histograms as JSON, default metrics.json; `--report[=FILE]` writes a
+// machine-readable run report (args, wall time, exit status, peak RSS
+// and the metrics snapshot), default report.json; `--progress[=SECS]`
+// prints live heartbeat lines to stderr while the engines run, default
+// every 1s. Heartbeats and the report notice go to stderr, so stdout is
+// byte-identical with and without them. On `sim`, bare `--trace` keeps
+// its historical meaning (print the event trace as text), so the
 // timeline there needs the explicit `--trace=FILE` form.
 //
 // Exit status: 0 on success, 1 on a failed check / simulation violation,
@@ -55,6 +60,8 @@
 #include "dcf/io.h"
 #include "obs/adapters.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/batch.h"
 #include "sim/environment.h"
@@ -132,8 +139,9 @@ constexpr const char* kUsage =
     "dead=0,markings=N\n"
     "  report: --trips T\n"
     "  import: --out FILE.sys --stub none|reg --export-pnml FILE\n"
-    "  telemetry (transform/synth/sim): --trace[=FILE] "
-    "--trace-deterministic --metrics[=FILE]\n"
+    "  telemetry (all commands): --trace[=FILE] --trace-deterministic "
+    "--metrics[=FILE]\n"
+    "             --report[=FILE] --progress[=SECS]\n"
     "  aliases: simulate = sim, optimize = synth\n";
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -155,10 +163,11 @@ std::optional<Args> parse_args(int argc, char** argv) {
     // Inline form --key=value.
     if (const auto eq = arg.find('='); eq != std::string::npos) {
       const std::string key = arg.substr(0, eq);
-      // --trace/--metrics/--witness are flags when bare but accept an
-      // inline =FILE to override the default output path.
+      // --trace/--metrics/--witness/--report/--progress are flags when
+      // bare but accept an inline =VALUE to override the default.
       const bool inline_only = key == "--trace" || key == "--metrics" ||
-                               key == "--witness";
+                               key == "--witness" || key == "--report" ||
+                               key == "--progress";
       if (!inline_only &&
           std::find(value_options.begin(), value_options.end(), key) ==
               value_options.end()) {
@@ -194,10 +203,13 @@ void write_file(const std::string& path, const std::string& text) {
   out << text;
 }
 
-/// Per-command telemetry: an optional activated TraceSession plus a
-/// MetricsRegistry, configured from --trace[=FILE], --trace-deterministic
-/// and --metrics[=FILE]. The CLI pattern is activate -> run -> finish()
-/// (deactivate + write both files).
+/// Per-command telemetry: an optional activated TraceSession, an
+/// optional live ProgressMeter, an optional RunReport and a
+/// MetricsRegistry, configured from --trace[=FILE],
+/// --trace-deterministic, --metrics[=FILE], --report[=FILE] and
+/// --progress[=SECS]. The CLI pattern is activate -> run ->
+/// finish(status) (stop the meter, deactivate, write every requested
+/// artifact, pass the status through).
 struct Telemetry {
   Telemetry(const Args& args, bool bare_trace_is_chrome) {
     const bool deterministic = args.flag("--trace-deterministic");
@@ -212,6 +224,27 @@ struct Telemetry {
     } else if (args.flag("--metrics")) {
       metrics_path = "metrics.json";
     }
+    if (const auto path = args.option("--report")) {
+      report_path = *path;
+    } else if (args.flag("--report")) {
+      report_path = "report.json";
+    }
+    if (!report_path.empty()) {
+      std::vector<std::string> rest;
+      for (const auto& [k, v] : args.options) rest.push_back(k + "=" + v);
+      for (const std::string& f : args.flags) rest.push_back(f);
+      report.emplace(obs::RunReportOptions{"camadc", args.command, args.file,
+                                           std::move(rest)});
+    }
+    double interval = -1.0;
+    if (const auto secs = args.option("--progress")) {
+      interval = std::stod(*secs);
+    } else if (args.flag("--progress")) {
+      interval = 1.0;
+    }
+    if (interval >= 0.0) {
+      meter.emplace(obs::ProgressMeterOptions{interval, nullptr});
+    }
     if (!trace_path.empty()) {
       trace.emplace(obs::TraceOptions{deterministic});
       trace->activate();
@@ -221,11 +254,24 @@ struct Telemetry {
     if (trace) trace->deactivate();
   }
 
-  [[nodiscard]] bool metrics_enabled() const { return !metrics_path.empty(); }
+  /// True when a metrics consumer exists (a --metrics file or a report
+  /// embedding the snapshot) — commands gate stat publishing on this.
+  [[nodiscard]] bool collect_metrics() const {
+    return !metrics_path.empty() || report.has_value();
+  }
 
-  /// Deactivates the session and writes whatever was requested. Call
-  /// after all worker threads have joined.
-  void finish() {
+  /// Free-form report annotation; no-op without --report.
+  void note(std::string_view key, std::string_view value) {
+    if (report) report->note(key, value);
+  }
+
+  /// Stops the progress meter, deactivates the session and writes
+  /// whatever was requested, then passes `exit_status` through (so call
+  /// sites read `return telemetry.finish(code);`). Call after all worker
+  /// threads have joined. The report notice goes to stderr: stdout stays
+  /// byte-identical with and without --report/--progress.
+  int finish(int exit_status) {
+    meter.reset();
     if (trace) {
       trace->deactivate();
       std::ofstream out(trace_path);
@@ -234,17 +280,31 @@ struct Telemetry {
       std::cout << "trace written to " << trace_path << " ("
                 << trace->event_count() << " events)\n";
     }
+    if (!metrics_path.empty() || report.has_value()) {
+      metrics.set("process.peak_rss_bytes",
+                  static_cast<double>(obs::peak_rss_bytes()));
+    }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
       if (!out) throw Error("cannot write '" + metrics_path + "'");
       metrics.write_json(out);
       std::cout << "metrics written to " << metrics_path << '\n';
     }
+    if (report) {
+      std::ofstream out(report_path);
+      if (!out) throw Error("cannot write '" + report_path + "'");
+      report->write(out, exit_status, metrics);
+      std::cerr << "report written to " << report_path << '\n';
+    }
+    return exit_status;
   }
 
   std::string trace_path;
   std::string metrics_path;
+  std::string report_path;
   std::optional<obs::TraceSession> trace;
+  std::optional<obs::ProgressMeter> meter;
+  std::optional<obs::RunReport> report;
   obs::MetricsRegistry metrics;
 };
 
@@ -282,6 +342,7 @@ dcf::System load_any(const std::string& path) {
 }
 
 int cmd_check(const Args& args) {
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
   const dcf::System system = load_any(args.file);
   dcf::CheckOptions options;
   options.use_reachable_concurrency = args.flag("--reachable");
@@ -289,10 +350,12 @@ int cmd_check(const Args& args) {
   const dcf::CheckReport report = dcf::check_properly_designed(system,
                                                                options);
   std::cout << system.name() << ": " << report.to_string() << '\n';
-  return report.ok() ? 0 : 1;
+  telemetry.note("check", report.to_string());
+  return telemetry.finish(report.ok() ? 0 : 1);
 }
 
 int cmd_compile(const Args& args) {
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
   const std::string text = read_file(args.file);
   synth::Program program = synth::parse_program(text);
   std::size_t folded = 0;
@@ -306,7 +369,15 @@ int cmd_compile(const Args& args) {
       args.option("--out").value_or(system.name() + ".sys");
   write_file(out, dcf::save_system(system));
   std::cout << "system written to " << out << "\n";
-  return 0;
+  if (telemetry.collect_metrics()) {
+    telemetry.metrics.set("compile.states", static_cast<double>(stats.states));
+    telemetry.metrics.set("compile.functional_units",
+                          static_cast<double>(stats.functional_units));
+    telemetry.metrics.set("compile.registers",
+                          static_cast<double>(stats.registers));
+    telemetry.metrics.set("compile.ops_folded", static_cast<double>(folded));
+  }
+  return telemetry.finish(0);
 }
 
 int cmd_transform(const Args& args) {
@@ -328,7 +399,7 @@ int cmd_transform(const Args& args) {
     if (args.flag("--print-pass-stats")) {
       std::cout << pipeline.stats_to_string();
     }
-    if (telemetry.metrics_enabled()) {
+    if (telemetry.collect_metrics()) {
       obs::publish_pass_stats(telemetry.metrics, pipeline.stats());
       obs::publish_analysis_stats(telemetry.metrics,
                                   pipeline.cache_stats());
@@ -337,7 +408,8 @@ int cmd_transform(const Args& args) {
   // Flag passes run in command-line order (after --passes, if both given).
   for (const std::string& flag : args.flags) {
     if (flag == "--print-pass-stats" || flag == "--trace" ||
-        flag == "--trace-deterministic" || flag == "--metrics") {
+        flag == "--trace-deterministic" || flag == "--metrics" ||
+        flag == "--report" || flag == "--progress") {
       continue;
     } else if (flag == "--parallelize") {
       transform::ParallelizeStats stats;
@@ -373,8 +445,8 @@ int cmd_transform(const Args& args) {
       args.option("--out").value_or(system.name() + ".sys");
   write_file(out, dcf::save_system(system));
   std::cout << "system written to " << out << "\n";
-  telemetry.finish();
-  return report.ok() ? 0 : 1;
+  telemetry.note("check", report.to_string());
+  return telemetry.finish(report.ok() ? 0 : 1);
 }
 
 /// The one-line engine summary every camadc subcommand prints: the
@@ -435,7 +507,7 @@ int cmd_synth_pareto(const Args& args, Telemetry& telemetry) {
     write_file(*path, synth::frontier_to_json(result, serial.name()));
     std::cout << "frontier written to " << *path << '\n';
   }
-  if (telemetry.metrics_enabled()) {
+  if (telemetry.collect_metrics()) {
     obs::publish_sim_stats(telemetry.metrics, result.sim_stats);
     obs::publish_analysis_stats(telemetry.metrics, result.analysis_stats);
     telemetry.metrics.add("pareto.candidates_evaluated",
@@ -443,9 +515,11 @@ int cmd_synth_pareto(const Args& args, Telemetry& telemetry) {
     telemetry.metrics.add("pareto.dedup_hits", result.dedup_hits);
     telemetry.metrics.add("pareto.frontier_points", result.frontier.size());
     telemetry.metrics.set("pareto.hypervolume", result.hypervolume);
+    telemetry.metrics.set("synth.frontier.bytes",
+                          static_cast<double>(result.frontier_bytes));
   }
-  telemetry.finish();
-  return 0;
+  telemetry.note("engine", result.sim_stats.to_string());
+  return telemetry.finish(0);
 }
 
 int cmd_synth(const Args& args) {
@@ -482,7 +556,7 @@ int cmd_synth(const Args& args) {
     write_file(*path, dcf::system_to_dot(result.optimized));
     std::cout << "dot written to " << *path << '\n';
   }
-  if (telemetry.metrics_enabled()) {
+  if (telemetry.collect_metrics()) {
     obs::publish_sim_stats(telemetry.metrics, result.optimization.sim_stats);
     obs::publish_analysis_stats(telemetry.metrics,
                                 result.optimization.analysis_stats);
@@ -495,8 +569,8 @@ int cmd_synth(const Args& args) {
     telemetry.metrics.set("optimize.final_time_ns",
                           result.optimization.final.time_ns);
   }
-  telemetry.finish();
-  return 0;
+  telemetry.note("engine", result.optimization.sim_stats.to_string());
+  return telemetry.finish(0);
 }
 
 int cmd_sim(const Args& args) {
@@ -592,12 +666,12 @@ int cmd_sim(const Args& args) {
     sim::SimStats stats;
     for (const sim::SimResult& r : results) stats += r.stats;
     std::cout << "  engine lanes: " << stats.to_string() << '\n';
-    if (telemetry.metrics_enabled()) {
+    if (telemetry.collect_metrics()) {
       obs::publish_sim_stats(telemetry.metrics, stats);
       telemetry.metrics.add("sim.runs", results.size());
     }
-    telemetry.finish();
-    return any_violation ? 1 : 0;
+    telemetry.note("engine", stats.to_string());
+    return telemetry.finish(any_violation ? 1 : 0);
   }
 
   const sim::SimResult result = sim::simulate(system, env, options);
@@ -631,13 +705,13 @@ int cmd_sim(const Args& args) {
     write_file(*path, sim::to_vcd(system, result.trace));
     std::cout << "waveform written to " << *path << '\n';
   }
-  if (telemetry.metrics_enabled()) {
+  if (telemetry.collect_metrics()) {
     obs::publish_sim_stats(telemetry.metrics, result.stats);
     telemetry.metrics.set("sim.cycles", static_cast<double>(result.cycles));
     telemetry.metrics.add("sim.runs");
   }
-  telemetry.finish();
-  return result.violations.empty() ? 0 : 1;
+  telemetry.note("engine", result.stats.to_string());
+  return telemetry.finish(result.violations.empty() ? 0 : 1);
 }
 
 /// Renders "s1(1) s2(2)" for a witness marking.
@@ -748,16 +822,9 @@ int cmd_verify(const Args& args) {
                  result.deadlock_trace);
   }
 
-  if (telemetry.metrics_enabled()) {
-    telemetry.metrics.set("mc.states",
-                          static_cast<double>(result.state_count));
-    telemetry.metrics.set("mc.depth", static_cast<double>(result.depth));
-    telemetry.metrics.set("mc.states_per_second",
-                          result.stats.states_per_second);
-    telemetry.metrics.set("mc.conflicts",
-                          static_cast<double>(result.conflicts.size()));
+  if (telemetry.collect_metrics()) {
+    obs::publish_mc_stats(telemetry.metrics, result);
   }
-  telemetry.finish();
 
   // --expect mode: the exit status reports agreement with the stated
   // verdicts (the external-corpus tests pin published results this way),
@@ -771,7 +838,7 @@ int cmd_verify(const Args& args) {
       const auto eq = item.find('=');
       if (eq == std::string::npos) {
         std::cerr << "bad --expect item '" << item << "'\n";
-        return 2;
+        return telemetry.finish(2);
       }
       const std::string key{trim(item.substr(0, eq))};
       const std::string want{trim(item.substr(eq + 1))};
@@ -793,7 +860,7 @@ int cmd_verify(const Args& args) {
         got = std::to_string(result.state_count);
       } else {
         std::cerr << "unknown --expect key '" << key << "'\n";
-        return 2;
+        return telemetry.finish(2);
       }
       if (got != want) {
         mismatches.push_back(key + ": expected " + want + ", got " + got);
@@ -805,17 +872,21 @@ int cmd_verify(const Args& args) {
     std::cout << (mismatches.empty() ? "expectations met"
                                      : "expectations FAILED")
               << '\n';
-    return mismatches.empty() ? 0 : 1;
+    telemetry.note("verdict", mismatches.empty() ? "expectations met"
+                                                 : "expectations failed");
+    return telemetry.finish(mismatches.empty() ? 0 : 1);
   }
 
   const bool violation = !result.complete || !result.safe ||
                          !result.bounded || result.deadlock ||
                          unguarded_conflicts > 0;
   std::cout << (violation ? "verification FAILED" : "verified") << '\n';
-  return violation ? 1 : 0;
+  telemetry.note("verdict", violation ? "verification failed" : "verified");
+  return telemetry.finish(violation ? 1 : 0);
 }
 
 int cmd_import(const Args& args) {
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
   gen::LiftOptions lift;
   if (const auto stub = args.option("--stub")) {
     if (*stub == "none") {
@@ -840,6 +911,13 @@ int cmd_import(const Args& args) {
               << " transition(s)"
               << (imported.net.is_ordinary() ? "" : " (weighted arcs)")
               << '\n';
+    if (telemetry.collect_metrics()) {
+      telemetry.metrics.set("import.places",
+                            static_cast<double>(imported.net.place_count()));
+      telemetry.metrics.set(
+          "import.transitions",
+          static_cast<double>(imported.net.transition_count()));
+    }
   } else {
     system = load_any(args.file);
   }
@@ -847,16 +925,17 @@ int cmd_import(const Args& args) {
     write_file(*path, petri::to_pnml(system.control().net(), system.name()));
     std::cout << "pnml written to " << *path << '\n';
     // Export-only unless a .sys destination was also requested.
-    if (!args.option("--out").has_value()) return 0;
+    if (!args.option("--out").has_value()) return telemetry.finish(0);
   }
   const std::string out =
       args.option("--out").value_or(system.name() + ".sys");
   write_file(out, dcf::save_system(system));
   std::cout << "system written to " << out << '\n';
-  return 0;
+  return telemetry.finish(0);
 }
 
 int cmd_report(const Args& args) {
+  Telemetry telemetry(args, /*bare_trace_is_chrome=*/true);
   const dcf::System system = load_any(args.file);
   const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
 
@@ -899,7 +978,7 @@ int cmd_report(const Args& args) {
             << petri::classify(system.control().net()).to_string() << '\n';
   std::cout << "schedule bounds:\n"
             << synth::analyze_schedules(system).to_string(system);
-  return 0;
+  return telemetry.finish(0);
 }
 
 }  // namespace
