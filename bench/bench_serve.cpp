@@ -1,0 +1,386 @@
+// Serving benchmark: requests/sec and client-observed latency of an
+// in-process camadd (Service + real TCP Server) at 1 / 8 / 64
+// concurrent clients, with every engine response byte-compared against
+// a fresh single-worker oracle Service — a perf number only counts if
+// the concurrent answers are bit-identical to the one-shot answers.
+//
+// Emits schema-v2 BENCH_serve.json via --json[=PATH]:
+//   requests_per_second      higher-better, gated by bench_diff
+//   p50_seconds/p99_seconds  lower-better (skipped on shared runners
+//                            via --skip=seconds, like every wall-clock
+//                            metric in CI)
+//   wrong_responses          invariant, must stay 0
+//   cache_gate               invariant 1: shared-tier hit rate > 0.5
+//   backpressure_gate        invariant 1: a saturated one-worker/one-
+//                            slot service rejected with "overloaded"
+//                            and answered everything (no stall)
+//
+// Unlike the sibling benches this one has no google-benchmark mode:
+// the sweep *is* the benchmark, and --json is how CI consumes it.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_out.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/json.h"
+
+namespace camad {
+namespace {
+
+constexpr const char* kGcdSource = R"(design gcd {
+  in a, b;
+  out g;
+  var x, y;
+  begin
+    x := a;
+    y := b;
+    while x != y {
+      if x > y {
+        x := x - y;
+      } else {
+        y := y - x;
+      }
+    }
+    g := x;
+  end
+}
+)";
+
+constexpr const char* kSumSource = R"(design sum3 {
+  in a, b, c;
+  out s;
+  var t;
+  begin
+    t := a + b;
+    s := t + c;
+  end
+}
+)";
+
+constexpr std::uint64_t kSeed = 0x5eedf00d;
+constexpr std::size_t kRequestsPerClient = 32;
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string upload_request(const char* source) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().kv("op", "upload").kv("source", source).end_object();
+  return os.str();
+}
+
+/// The deterministic request mix, a function of (client, index) only —
+/// the same request set is replayed at every client count, so the
+/// oracle map is computed once.
+std::string request_for(const std::vector<std::string>& designs,
+                        std::size_t client, std::size_t index) {
+  std::uint64_t state = kSeed ^ (client * 0x9e3779b97f4a7c15ULL + index);
+  const std::uint64_t word = splitmix(state);
+  const std::string& id = designs[word % designs.size()];
+  const std::uint64_t kind = (word >> 8) % 10;
+  std::ostringstream os;
+  JsonWriter w(os);
+  if (kind < 4) {
+    w.begin_object()
+        .kv("op", "simulate")
+        .kv("design", id)
+        .kv("seed", 1 + ((word >> 16) % 4))
+        .kv("max_cycles", static_cast<std::uint64_t>(2000))
+        .kv("max_events", static_cast<std::uint64_t>(16))
+        .end_object();
+  } else if (kind < 7) {
+    w.begin_object().kv("op", "verify").kv("design", id).end_object();
+  } else if (kind < 9) {
+    w.begin_object()
+        .kv("op", "transform")
+        .kv("design", id)
+        .kv("passes", "parallelize,cleanup")
+        .end_object();
+  } else {
+    return upload_request((word & 1) != 0 ? kGcdSource : kSumSource);
+  }
+  return os.str();
+}
+
+/// One TCP client connection speaking the frame protocol.
+class Connection {
+ public:
+  explicit Connection(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  /// One request/response round trip; empty string on transport error.
+  std::string call(const std::string& request) {
+    if (fd_ < 0 || !serve::write_frame(fd_, request)) return {};
+    std::string payload;
+    if (serve::read_frame(fd_, payload) != serve::FrameStatus::kOk) {
+      return {};
+    }
+    return payload;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+struct SweepResult {
+  std::size_t requests = 0;
+  std::size_t wrong = 0;
+  double seconds = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+SweepResult run_sweep(std::uint16_t port, std::size_t clients,
+                      const std::vector<std::string>& designs,
+                      const std::map<std::string, std::string>& oracle) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> wrong{0};
+  std::atomic<std::size_t> failed{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Connection conn(port);
+      if (!conn.ok()) {
+        failed += kRequestsPerClient;
+        return;
+      }
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const std::string request = request_for(designs, c, i);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string response = conn.call(request);
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[c].push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+        if (response.empty()) {
+          ++failed;
+        } else if (oracle.at(request) != response) {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  SweepResult out;
+  out.requests = clients * kRequestsPerClient;
+  out.wrong = wrong.load() + failed.load();
+  out.seconds = std::chrono::duration<double>(end - start).count();
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.p50 = quantile(all, 0.5);
+  out.p99 = quantile(all, 0.99);
+  return out;
+}
+
+/// Saturates a one-worker / one-slot service and checks it rejects with
+/// "overloaded" instead of stalling. Returns true when at least one
+/// rejection was observed and every request was answered.
+bool backpressure_probe() {
+  serve::ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  serve::Service service(options);
+  const JsonValue uploaded =
+      json_parse(service.handle(upload_request(kGcdSource)));
+  const std::string id = uploaded.find("result")->find("design")->string;
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("op", "simulate")
+      .kv("design", id)
+      .kv("max_cycles", static_cast<std::uint64_t>(1) << 20)
+      .kv("deadline_ms", static_cast<std::uint64_t>(500))
+      .end_object();
+  const std::string slow = os.str();
+
+  std::atomic<std::size_t> overloaded{0};
+  std::atomic<std::size_t> answered{0};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      const JsonValue v = json_parse(service.handle(slow));
+      ++answered;
+      const JsonValue* error = v.find("error");
+      if (error != nullptr &&
+          error->find("code")->string == serve::kErrOverloaded) {
+        ++overloaded;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return overloaded.load() >= 1 && answered.load() == 8;
+}
+
+int run(const std::string& json_path) {
+  serve::Service service(serve::ServiceOptions{});
+  serve::Server server(service, serve::ServerOptions{0});
+  std::thread serving([&] { server.serve(); });
+
+  // Uploads happen once, up front, over the wire.
+  std::vector<std::string> designs;
+  {
+    Connection setup(server.port());
+    if (!setup.ok()) {
+      std::cerr << "bench_serve: cannot connect\n";
+      server.stop();
+      serving.join();
+      return 1;
+    }
+    for (const char* source : {kGcdSource, kSumSource}) {
+      const JsonValue v = json_parse(setup.call(upload_request(source)));
+      designs.push_back(v.find("result")->find("design")->string);
+    }
+  }
+
+  // Oracle: a fresh single-worker service answers every distinct
+  // request once; those are the reference bytes.
+  std::map<std::string, std::string> oracle;
+  {
+    serve::ServiceOptions oracle_options;
+    oracle_options.workers = 1;
+    serve::Service one_shot(oracle_options);
+    for (const char* source : {kGcdSource, kSumSource}) {
+      (void)one_shot.handle(upload_request(source));
+    }
+    for (std::size_t c = 0; c < 64; ++c) {
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const std::string request = request_for(designs, c, i);
+        if (oracle.find(request) == oracle.end()) {
+          oracle.emplace(request, one_shot.handle(request));
+        }
+      }
+    }
+  }
+
+  bench::BenchJson json(json_path, "serve", "requests_per_second");
+  json.meta("workers",
+            static_cast<std::uint64_t>(service.options().workers))
+      .meta("requests_per_client",
+            static_cast<std::uint64_t>(kRequestsPerClient));
+
+  bool ok = true;
+  for (const std::size_t clients : {1UL, 8UL, 64UL}) {
+    // Best of three, like bench_mc: the throughput curve, not
+    // scheduler noise. Responses are byte-checked on every repeat.
+    SweepResult r = run_sweep(server.port(), clients, designs, oracle);
+    for (int rep = 0; rep < 2; ++rep) {
+      SweepResult again = run_sweep(server.port(), clients, designs,
+                                    oracle);
+      again.wrong += r.wrong;
+      if (again.seconds < r.seconds) {
+        r = again;
+      } else {
+        r.wrong = again.wrong;
+      }
+    }
+    const double rate =
+        r.seconds > 0 ? static_cast<double>(r.requests) / r.seconds : 0.0;
+    std::cout << "BENCH_serve clients=" << clients << ": "
+              << bench::rounded(rate, 1) << " req/s, p50 "
+              << bench::rounded(r.p50 * 1e3, 3) << " ms, p99 "
+              << bench::rounded(r.p99 * 1e3, 3) << " ms, " << r.wrong
+              << " wrong\n";
+    if (r.wrong != 0) ok = false;
+    json.begin_design("clients_" + std::to_string(clients))
+        .field("clients", static_cast<std::uint64_t>(clients))
+        .field("requests", static_cast<std::uint64_t>(r.requests))
+        .field("wrong_responses", static_cast<std::uint64_t>(r.wrong))
+        .field("requests_per_second", bench::rounded(rate, 1))
+        .field("p50_seconds", bench::rounded(r.p50, 6))
+        .field("p99_seconds", bench::rounded(r.p99, 6))
+        .end_design();
+  }
+
+  const double hit_rate = service.shared_tier_hit_rate();
+  const bool cache_ok = hit_rate > 0.5;
+  std::cout << "BENCH_serve shared-tier hit rate "
+            << bench::rounded(hit_rate, 4)
+            << (cache_ok ? " (> 0.5)" : " — BELOW the 0.5 gate") << '\n';
+  if (!cache_ok) ok = false;
+
+  server.stop();
+  serving.join();
+
+  const bool bp_ok = backpressure_probe();
+  std::cout << "BENCH_serve backpressure: "
+            << (bp_ok ? "rejected with overloaded, no stall"
+                      : "FAILED (no rejection or a stall)")
+            << '\n';
+  if (!bp_ok) ok = false;
+
+  json.begin_design("gates")
+      .field("cache_gate", static_cast<std::uint64_t>(cache_ok ? 1 : 0))
+      .field("backpressure_gate",
+             static_cast<std::uint64_t>(bp_ok ? 1 : 0))
+      .end_design();
+  if (!json.finish()) return 1;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace camad
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg != "--json") {
+      std::cerr << "usage: bench_serve [--json[=PATH]]\n";
+      return 2;
+    }
+  }
+  return camad::run(json_path);
+}

@@ -12,6 +12,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "petri/exec.h"
+#include "serve/budget.h"
 #include "sim/batch.h"
 
 namespace camad::mc {
@@ -392,6 +393,11 @@ struct Search {
       if (store.size() > options.max_states) {
         result.complete = false;
         result.cutoff_reason = "max-states";
+        break;
+      }
+      if (options.budget != nullptr && options.budget->exhausted()) {
+        result.complete = false;
+        result.cutoff_reason = options.budget->reason();
         break;
       }
 

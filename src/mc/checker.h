@@ -32,6 +32,10 @@
 #include "petri/net.h"
 #include "petri/reachability.h"
 
+namespace camad::serve {
+class Budget;  // serve/budget.h — std-only, safe for any layer
+}
+
 namespace camad::mc {
 
 struct McOptions {
@@ -53,6 +57,11 @@ struct McOptions {
   bool collect_traces = true;
   /// Visited-store shards (0 = auto from thread count; rounded to pow2).
   std::size_t shards = 0;
+  /// Per-request deadline/cancellation, polled at every level boundary
+  /// (the same granularity as max_states). Null = unlimited. A
+  /// budget-stopped run returns complete == false with cutoff_reason
+  /// "budget-deadline" / "budget-cancelled".
+  const serve::Budget* budget = nullptr;
 
   friend bool operator==(const McOptions&, const McOptions&) = default;
 };

@@ -131,9 +131,11 @@ std::string AnalysisCacheStats::to_string() const {
 }
 
 AnalysisCache::AnalysisCache(const dcf::System& system,
-                             petri::ReachabilityOptions reachability)
+                             petri::ReachabilityOptions reachability,
+                             std::optional<mc::McOptions> mc_options)
     : system_(&system),
       reach_(reachability),
+      mc_options_(std::move(mc_options)),
       nplaces_(system.control().net().place_count()),
       ntransitions_(system.control().net().transition_count()),
       mu_(std::make_unique<std::mutex>()) {}
@@ -191,8 +193,12 @@ const mc::McResult& AnalysisCache::model_check() const {
     ++stats_.misses[i];
     const obs::ObsSpan span("analysis.exact-concurrency");
     mc::McOptions opt;
-    opt.max_states = reach_.max_markings;
-    opt.token_bound = reach_.token_bound;
+    if (mc_options_.has_value()) {
+      opt = *mc_options_;
+    } else {
+      opt.max_states = reach_.max_markings;
+      opt.token_bound = reach_.token_bound;
+    }
     exact_ = std::make_shared<const mc::McResult>(
         mc::model_check(*system_, opt));
   } else {
@@ -222,7 +228,7 @@ const DependenceRelation& AnalysisCache::dependence(
 
 AnalysisCache AnalysisCache::successor(
     const dcf::System& next, const PreservedAnalyses& preserved) const {
-  AnalysisCache out(next, reach_);
+  AnalysisCache out(next, reach_, mc_options_);
   const std::lock_guard<std::mutex> lock(*mu_);
   const bool same_net_shape =
       out.nplaces_ == nplaces_ && out.ntransitions_ == ntransitions_;

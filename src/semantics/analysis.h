@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -107,8 +108,15 @@ struct AnalysisCacheStats {
 
 class AnalysisCache {
  public:
-  explicit AnalysisCache(const dcf::System& system,
-                         petri::ReachabilityOptions reachability = {});
+  /// `mc_options`, when given, replaces the default options of the
+  /// guard-aware model_check() analysis (which otherwise mirror
+  /// `reachability`'s max_markings / token_bound); it lets a CLI or
+  /// service thread its --threads/--max-states/budget configuration
+  /// through the cache while keeping every other analysis untouched.
+  explicit AnalysisCache(
+      const dcf::System& system,
+      petri::ReachabilityOptions reachability = {},
+      std::optional<mc::McOptions> mc_options = std::nullopt);
 
   AnalysisCache(const AnalysisCache&) = delete;
   AnalysisCache& operator=(const AnalysisCache&) = delete;
@@ -186,6 +194,7 @@ class AnalysisCache {
 
   const dcf::System* system_;
   petri::ReachabilityOptions reach_;
+  std::optional<mc::McOptions> mc_options_;
   std::size_t nplaces_ = 0;
   std::size_t ntransitions_ = 0;
 

@@ -1,0 +1,86 @@
+// Per-request deadlines and cooperative cancellation.
+//
+// A Budget generalizes the model checker's level-granular max_states
+// cutoff into a primitive every long-running engine loop can poll: a
+// wall-clock deadline fixed at construction plus an externally
+// settable cancellation flag. Engines receive `const Budget*` (nullable
+// — null means unlimited, the one-shot CLI default) through their
+// options structs and call exhausted() at their natural checkpoint
+// granularity: per BFS level (mc), per cycle (sim), per generation
+// (optimize_pareto). A budget-stopped run is never an error: each
+// engine returns its usual well-formed partial result with a flag /
+// cutoff reason naming the budget, exactly like a max_states cutoff.
+//
+// The owner (the serve request scheduler, or a CLI signal handler)
+// keeps the only non-const reference and may call cancel() from any
+// thread — it is a relaxed atomic store, async-signal-safe by POSIX's
+// rules for lock-free atomics, which is why camadc's SIGINT handler
+// can use it directly.
+//
+// This header is intentionally dependency-free (standard library only)
+// so the lower engine layers can include it without inheriting any of
+// the serve subsystem.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+namespace camad::serve {
+
+class Budget {
+ public:
+  /// Unlimited: exhausted() is false until cancel().
+  Budget() = default;
+
+  /// Deadline `limit` from now; non-positive means unlimited.
+  explicit Budget(std::chrono::nanoseconds limit) {
+    if (limit.count() > 0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() + limit;
+    }
+  }
+
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Thread-safe and async-signal-safe; idempotent.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the budget is spent: cancelled, or past the deadline.
+  [[nodiscard]] bool exhausted() const {
+    if (cancelled()) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Cutoff-reason spelling for result structs: "budget-cancelled" or
+  /// "budget-deadline"; empty while the budget still has headroom.
+  [[nodiscard]] std::string reason() const {
+    if (cancelled()) return "budget-cancelled";
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return "budget-deadline";
+    }
+    return {};
+  }
+
+  /// Remaining wall time; zero when exhausted, max() when unlimited.
+  [[nodiscard]] std::chrono::nanoseconds remaining() const {
+    if (cancelled()) return std::chrono::nanoseconds::zero();
+    if (!has_deadline_) return std::chrono::nanoseconds::max();
+    const auto left = deadline_ - std::chrono::steady_clock::now();
+    return left.count() > 0 ? std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(left)
+                            : std::chrono::nanoseconds::zero();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace camad::serve

@@ -1,0 +1,70 @@
+// camadd wire protocol: length-prefixed JSON frames over a stream
+// socket.
+//
+// One frame is a 4-byte big-endian payload length followed by exactly
+// that many bytes of UTF-8 JSON. Requests and responses are both single
+// frames; a connection carries any number of request/response pairs in
+// strict alternation. The length prefix is capped (kMaxFrameBytes) so a
+// hostile or corrupt peer cannot make the server allocate unbounded
+// memory from four bytes.
+//
+// Request:  {"op":"simulate","design":"d0123...","seed":7,...}
+// Response: {"ok":true,"op":"simulate","result":{...}}
+//        or {"ok":false,"op":"simulate","error":{"code":"overloaded",
+//            "message":"queue full (depth 64)"}}
+//
+// Every response field except the `stats` endpoint's payload is
+// deterministic for a given request + design-store state, which is what
+// lets bench_serve byte-compare concurrent responses against one-shot
+// oracle answers. Error codes are closed vocabulary (kErr* below);
+// docs/SERVING.md is the normative table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace camad::serve {
+
+/// Bump when the frame format or response envelope changes
+/// incompatibly. Carried by `health` responses so clients can refuse.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a single frame payload (16 MiB) — applies to both
+/// directions; large simulate traces are truncated server-side by
+/// `max_events` long before this.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+// Closed error-code vocabulary.
+inline constexpr std::string_view kErrParse = "parse-error";
+inline constexpr std::string_view kErrBadRequest = "bad-request";
+inline constexpr std::string_view kErrUnknownOp = "unknown-op";
+inline constexpr std::string_view kErrUnknownDesign = "unknown-design";
+inline constexpr std::string_view kErrOverloaded = "overloaded";
+inline constexpr std::string_view kErrShuttingDown = "shutting-down";
+inline constexpr std::string_view kErrOversize = "oversize-frame";
+inline constexpr std::string_view kErrInternal = "internal";
+
+/// Outcome of one frame read.
+enum class FrameStatus {
+  kOk,
+  kClosed,    ///< clean EOF before any prefix byte
+  kError,     ///< short read / io error mid-frame
+  kOversize,  ///< prefix exceeded kMaxFrameBytes (connection is dead:
+              ///< the payload was not consumed)
+};
+
+/// Reads one frame from `fd` into `payload` (replaced). Blocks; retries
+/// EINTR; tolerates short reads.
+FrameStatus read_frame(int fd, std::string& payload);
+
+/// Writes one frame; retries EINTR and short writes. False on error
+/// (including payloads over kMaxFrameBytes, which are never sent).
+bool write_frame(int fd, std::string_view payload);
+
+/// {"ok":false,"op":<op>,"error":{"code":...,"message":...}} — the one
+/// rendering every error path shares, so clients can rely on the shape.
+std::string error_response(std::string_view op, std::string_view code,
+                           std::string_view message);
+
+}  // namespace camad::serve

@@ -1,0 +1,162 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+
+namespace camad::serve {
+
+namespace {
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(Service& service, const ServerOptions& options)
+    : service_(service) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("socket(): " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string message = strerror(errno);
+    close_quietly(listen_fd_);
+    throw Error("bind(127.0.0.1:" + std::to_string(options.port) +
+                "): " + message);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string message = strerror(errno);
+    close_quietly(listen_fd_);
+    throw Error("listen(): " + message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    const std::string message = strerror(errno);
+    close_quietly(listen_fd_);
+    throw Error("pipe(): " + message);
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+}
+
+Server::~Server() {
+  stop();
+  close_quietly(listen_fd_);
+  close_quietly(wake_read_fd_);
+  close_quietly(wake_write_fd_);
+}
+
+void Server::stop() {
+  // Relaxed store + one pipe write: both async-signal-safe, both
+  // idempotent (the accept loop drains the pipe exactly once).
+  stopping_.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        stopping_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    connection_fds_.push_back(conn);
+    connections_.emplace_back([this, conn] { connection_loop(conn); });
+  }
+
+  // Drain: stop admitting, cancel in-flight budgets, wait for workers —
+  // blocked handle() calls return partial results promptly.
+  service_.shutdown();
+  // Unblock connection threads parked in read_frame, then join them.
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (;;) {
+    std::thread victim;
+    {
+      const std::lock_guard<std::mutex> lock(conn_mu_);
+      if (connections_.empty()) break;
+      victim = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (victim.joinable()) victim.join();
+  }
+}
+
+void Server::connection_loop(int fd) {
+  std::string payload;
+  for (;;) {
+    const FrameStatus status = read_frame(fd, payload);
+    if (status == FrameStatus::kOversize) {
+      // The payload was never consumed; the stream is unframed now.
+      // Report and hang up.
+      (void)write_frame(fd, error_response("", kErrOversize,
+                                           "frame exceeds 16 MiB cap"));
+      break;
+    }
+    if (status != FrameStatus::kOk) break;
+    if (!write_frame(fd, service_.handle(payload))) break;
+  }
+  // Deregister before close(): once the descriptor number is released
+  // the kernel may hand it to a new connection, and the erase would hit
+  // the wrong entry.
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = connection_fds_.begin(); it != connection_fds_.end();
+         ++it) {
+      if (*it == fd) {
+        connection_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace camad::serve

@@ -1,0 +1,71 @@
+// TCP front end for a serve::Service: accept loop, per-connection
+// threads, graceful drain.
+//
+// The server binds 127.0.0.1 (camadd is a local daemon, not an exposed
+// network service) on the requested port — port 0 asks the kernel for a
+// free one; port() reports the bound value so tests and CI can discover
+// it. Each accepted connection gets a thread that alternates
+// read_frame / Service::handle / write_frame until the peer closes;
+// blocking a connection thread inside handle() is the designed
+// backpressure (serve/service.h).
+//
+// stop() is async-signal-unfriendly by itself, so the accept loop polls
+// a self-pipe alongside the listen socket: camadd's signal handler
+// writes one byte (async-signal-safe), the loop wakes, stops accepting,
+// shuts the service down (which cancels in-flight budgets and drains),
+// then unblocks any connection thread still parked in read_frame via
+// shutdown(2) on its socket and joins them all. serve() returns only
+// when every thread is gone — the caller can then flush reports safely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace camad::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws camad::Error on socket failure). The
+  /// service must outlive the server.
+  Server(Service& service, const ServerOptions& options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with ServerOptions::port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Runs the accept loop on the calling thread until stop() is called
+  /// (from any thread or a signal handler). On return the service is
+  /// shut down and every connection thread has been joined.
+  void serve();
+
+  /// Requests serve() to finish. Async-signal-safe (one write(2) to a
+  /// self-pipe); idempotent.
+  void stop();
+
+ private:
+  void connection_loop(int fd);
+
+  Service& service_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace camad::serve

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "petri/exec.h"
 #include "petri/marking.h"
+#include "serve/budget.h"
 #include "sim/engine_internal.h"
 #include "sim/plan.h"
 #include "util/bitset.h"
@@ -192,6 +193,10 @@ SimResult simulate_reference(const dcf::System& system, Environment& env,
   for (std::uint64_t cycle = 0; cycle < options.max_cycles; ++cycle) {
     if (marking.total() == 0) {  // rule 6
       result.terminated = true;
+      break;
+    }
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result.budget_exhausted = true;
       break;
     }
     result.cycles = cycle + 1;
@@ -424,6 +429,10 @@ SimResult run_compiled(SimulatorState& state, Environment& env,
     }
     if (total == 0) {
       result.terminated = true;
+      break;
+    }
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result.budget_exhausted = true;
       break;
     }
     result.cycles = cycle + 1;

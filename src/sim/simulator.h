@@ -48,6 +48,10 @@
 #include "sim/environment.h"
 #include "sim/trace.h"
 
+namespace camad::serve {
+class Budget;  // serve/budget.h — std-only, safe for any layer
+}
+
 namespace camad::sim {
 
 enum class FiringPolicy : std::uint8_t {
@@ -82,6 +86,12 @@ struct SimOptions {
   /// orders). 0 = unbounded. Reachable marked sets can be exponential in
   /// |S| for pathological nets; the cap keeps memory flat.
   std::size_t plan_cache_capacity = 1024;
+  /// Per-request deadline/cancellation, polled once per cycle by every
+  /// engine. Null (the default) means unlimited and costs nothing; a
+  /// budget-stopped run sets SimResult::budget_exhausted and returns
+  /// whatever prefix of the trace was executed — it is a cutoff, not an
+  /// error, exactly like hitting max_cycles.
+  const serve::Budget* budget = nullptr;
 };
 
 /// Configuration-cache diagnostics for one run. Hit/miss splits depend on
@@ -139,6 +149,9 @@ struct SimResult {
   std::vector<std::string> violations;
   /// Final register states by vertex id (diagnostics).
   std::vector<dcf::Value> final_registers;
+  /// The run stopped because SimOptions::budget was exhausted; the trace
+  /// is the well-formed prefix executed before the cutoff.
+  bool budget_exhausted = false;
   /// Engine diagnostics (not part of the observable semantics).
   SimStats stats;
 };

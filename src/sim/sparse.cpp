@@ -33,6 +33,7 @@
 #include <string>
 
 #include "obs/trace.h"
+#include "serve/budget.h"
 #include "sim/engine_internal.h"
 #include "util/rng.h"
 
@@ -148,6 +149,10 @@ SimResult run_sparse(SimulatorState& state, Environment& env,
   for (std::uint64_t cycle = 0; cycle < options.max_cycles; ++cycle) {
     if (total_tokens == 0) {  // rule 6
       result.terminated = true;
+      break;
+    }
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result.budget_exhausted = true;
       break;
     }
     result.cycles = cycle + 1;

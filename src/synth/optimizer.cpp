@@ -14,6 +14,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "semantics/equivalence.h"
+#include "serve/budget.h"
 #include "sim/batch.h"
 #include "synth/design_hash.h"
 #include "transform/chain.h"
@@ -544,7 +545,13 @@ ParetoResult optimize_pareto(const dcf::System& serial,
   archive[seed_hash] = beam.front();
 
   std::size_t stall = 0;
+  result.stop_reason = "generations";
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result.budget_exhausted = true;
+      result.stop_reason = options.budget->reason();
+      break;
+    }
     std::vector<Action> actions;
     std::vector<std::size_t> active;  // beam indices expanded this gen
     for (std::size_t i = 0; i < beam.size(); ++i) {
@@ -802,6 +809,7 @@ ParetoResult optimize_pareto(const dcf::System& serial,
     if (inserted_any) {
       stall = 0;
     } else if (++stall >= options.stall_generations) {
+      result.stop_reason = "converged";
       break;
     }
   }

@@ -28,6 +28,10 @@
 #include "synth/frontier.h"
 #include "synth/library.h"
 
+namespace camad::serve {
+class Budget;  // serve/budget.h — std-only, safe for any layer
+}
+
 namespace camad::synth {
 
 struct OptimizerOptions {
@@ -153,6 +157,11 @@ struct ParetoOptions {
   /// so the beam always carries the pure-area, pure-time and balanced
   /// descent directions; remaining slots fill by non-domination rank.
   std::vector<double> lambda_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+  /// Per-request deadline/cancellation, polled at every generation
+  /// boundary. Null = unlimited. A budget-stopped search returns the
+  /// frontier accumulated so far (always well-formed — it contains at
+  /// least the initial point) with ParetoResult::budget_exhausted set.
+  const serve::Budget* budget = nullptr;
 };
 
 struct ParetoResult {
@@ -174,6 +183,13 @@ struct ParetoResult {
   std::size_t frontier_bytes = 0;
   sim::SimStats sim_stats;
   semantics::AnalysisCacheStats analysis_stats;
+  /// The search stopped because ParetoOptions::budget was exhausted; the
+  /// frontier is the well-formed prefix explored before the cutoff.
+  bool budget_exhausted = false;
+  /// Why the generation loop ended: "converged" (stall), "generations"
+  /// (cap reached), or the budget's reason ("budget-deadline" /
+  /// "budget-cancelled").
+  std::string stop_reason;
 };
 
 /// Multi-objective beam search over the transformation vocabulary

@@ -1,6 +1,7 @@
 #include "transform/passes.h"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -205,6 +206,44 @@ dcf::System PassPipeline::run(const dcf::System& initial) {
   }
   // The final successor holds transfer counts not yet folded in.
   cache_stats_ += cache.stats();
+  return current;
+}
+
+dcf::System PassPipeline::run(const dcf::System& initial,
+                              const semantics::AnalysisCache& seed) {
+  stats_.clear();
+  cache_stats_ = {};
+  provenance_.clear();
+  if (passes_.empty()) return initial;
+  const dcf::System* cur = &initial;
+  const semantics::AnalysisCache* cache = &seed;
+  dcf::System current;                            // owned from step 2 on
+  std::optional<semantics::AnalysisCache> owned;  // successor chain
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassStats record;
+    record.name = std::string(pass->name());
+    record.states_before = cur->control().state_count();
+    record.vertices_before = cur->datapath().vertex_count();
+    const auto t0 = std::chrono::steady_clock::now();
+    dcf::System next;
+    {
+      const obs::ObsSpan span("pass.", record.name);
+      next = pass->run(*cur, *cache);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    record.seconds = std::chrono::duration<double>(t1 - t0).count();
+    record.states_after = next.control().state_count();
+    record.vertices_after = next.datapath().vertex_count();
+    record.counters = pass->counters();
+    provenance_.push_back({record.name, record.counters});
+    stats_.push_back(std::move(record));
+    if (owned.has_value()) cache_stats_ += owned->stats();
+    current = std::move(next);
+    owned = cache->successor(current, pass->preserves());
+    cache = &*owned;
+    cur = &current;
+  }
+  if (owned.has_value()) cache_stats_ += owned->stats();
   return current;
 }
 

@@ -73,6 +73,16 @@ class PassPipeline {
   /// into the next pass's cache. Fills stats().
   [[nodiscard]] dcf::System run(const dcf::System& initial);
 
+  /// Same, but the *first* pass reads `seed` — an external long-lived
+  /// cache bound to `initial` — instead of a private fresh one, so
+  /// analyses some earlier client already paid for (the camadd shared
+  /// tier) are reused. Successor caches are still pipeline-owned.
+  /// cache_stats() counts only the pipeline-owned caches: `seed` has a
+  /// lifetime beyond this run and its counters are the owner's to
+  /// report.
+  [[nodiscard]] dcf::System run(const dcf::System& initial,
+                                const semantics::AnalysisCache& seed);
+
   [[nodiscard]] std::size_t size() const { return passes_.size(); }
   /// Per-pass statistics of the most recent run().
   [[nodiscard]] const std::vector<PassStats>& stats() const { return stats_; }

@@ -42,6 +42,7 @@
 // Exit status: 0 on success, 1 on a failed check / simulation violation,
 // 2 on usage or parse errors.
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -63,6 +64,8 @@
 #include "obs/progress.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "semantics/analysis.h"
+#include "serve/budget.h"
 #include "sim/batch.h"
 #include "sim/environment.h"
 #include "sim/lanes.h"
@@ -87,6 +90,26 @@
 using namespace camad;
 
 namespace {
+
+// SIGINT/SIGTERM cancel this budget instead of killing the process: the
+// engine loops (sim cycles, checker BFS levels, optimizer generations)
+// poll it and return well-formed partial results, so the command still
+// prints its summary and Telemetry::finish still flushes the --report /
+// --metrics artifacts. A second signal falls through to the default
+// disposition for a hard kill.
+serve::Budget g_interrupt_budget;
+
+extern "C" void camadc_handle_signal(int sig) {
+  // Async-signal-safe: cancel() is one relaxed atomic store, and
+  // std::signal only changes the disposition.
+  g_interrupt_budget.cancel();
+  std::signal(sig, SIG_DFL);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, camadc_handle_signal);
+  std::signal(SIGTERM, camadc_handle_signal);
+}
 
 struct Args {
   std::string command;
@@ -459,6 +482,15 @@ void print_engine_summary(const sim::SimStats& sim_stats,
             << "  " << analysis.summary() << '\n';
 }
 
+/// One-word run outcome, including the signal-interrupted case (the
+/// budget checkpoint in the cycle loop stopped the run early).
+const char* sim_outcome(const sim::SimResult& r) {
+  if (r.terminated) return "terminated";
+  if (r.deadlocked) return "deadlocked";
+  if (r.budget_exhausted) return "interrupted";
+  return "cycle limit";
+}
+
 /// `camadc optimize --strategy=pareto`: multi-objective beam search,
 /// prints the frontier table and optionally writes the deterministic
 /// frontier JSON.
@@ -481,13 +513,15 @@ int cmd_synth_pareto(const Args& args, Telemetry& telemetry) {
     options.eval_threads = std::stoul(*threads);
   }
   options.verify_frontier = !args.flag("--no-verify");
+  options.budget = &g_interrupt_budget;
   const synth::ModuleLibrary lib = synth::ModuleLibrary::standard();
   const synth::ParetoResult result =
       synth::optimize_pareto(serial, lib, options);
 
   std::cout << "pareto frontier for " << serial.name() << " ("
             << result.frontier.size() << " point(s), "
-            << result.generations_run << " generation(s)):\n";
+            << result.generations_run << " generation(s)"
+            << (result.budget_exhausted ? ", interrupted" : "") << "):\n";
   Table table({"area", "mean cycles", "cycle ns", "time ns", "provenance"});
   for (const synth::FrontierPoint& p : result.frontier) {
     table.add_row({format_double(p.metrics.area, 0),
@@ -615,6 +649,7 @@ int cmd_sim(const Args& args) {
     options.max_cycles = std::stoull(limit->c_str());
   }
   options.seed = seed;
+  options.budget = &g_interrupt_budget;
   if (const auto name = args.option("--engine")) {
     const auto engine = sim::engine_from_name(*name);
     if (!engine.has_value()) {
@@ -653,10 +688,7 @@ int cmd_sim(const Args& args) {
     for (std::size_t k = 0; k < results.size(); ++k) {
       const sim::SimResult& r = results[k];
       std::cout << system.name() << " lane " << k << ": "
-                << (r.terminated
-                        ? "terminated"
-                        : (r.deadlocked ? "deadlocked" : "cycle limit"))
-                << " after " << r.cycles << " cycles, "
+                << sim_outcome(r) << " after " << r.cycles << " cycles, "
                 << r.trace.event_count() << " external events\n";
       for (const std::string& violation : r.violations) {
         std::cout << "violation (lane " << k << "): " << violation << '\n';
@@ -676,11 +708,8 @@ int cmd_sim(const Args& args) {
 
   const sim::SimResult result = sim::simulate(system, env, options);
 
-  std::cout << system.name() << ": "
-            << (result.terminated
-                    ? "terminated"
-                    : (result.deadlocked ? "deadlocked" : "cycle limit"))
-            << " after " << result.cycles << " cycles, "
+  std::cout << system.name() << ": " << sim_outcome(result) << " after "
+            << result.cycles << " cycles, "
             << result.trace.event_count() << " external events\n";
   std::cout << "  engine " << sim::engine_name(options.engine) << ": "
             << result.stats.to_string() << '\n';
@@ -741,8 +770,14 @@ int cmd_verify(const Args& args) {
     options.token_bound = static_cast<std::uint32_t>(std::stoul(*b));
   }
   options.use_guards = !args.flag("--no-guards");
+  options.budget = &g_interrupt_budget;
 
-  const mc::McResult result = mc::model_check(system, options);
+  // The check runs through an AnalysisCache (with the CLI's checker
+  // configuration threaded in) so verify reports the same engine-summary
+  // line as sim/optimize — and exercises exactly the shared-cache path
+  // the camadd service uses.
+  const semantics::AnalysisCache cache(system, {}, options);
+  const mc::McResult& result = cache.model_check();
 
   std::cout << system.name() << ": " << result.state_count << " state(s), "
             << result.marking_count << " marking(s), depth " << result.depth
@@ -780,6 +815,7 @@ int cmd_verify(const Args& args) {
             << result.stats.max_frontier << ", "
             << format_double(result.stats.states_per_second, 0)
             << " states/s\n";
+  std::cout << "  " << cache.stats().summary() << '\n';
 
   // Witness handling: print the trace, replay it through petri::fire and
   // confirm it reaches the claimed marking (the CLI test greps for
@@ -824,7 +860,9 @@ int cmd_verify(const Args& args) {
 
   if (telemetry.collect_metrics()) {
     obs::publish_mc_stats(telemetry.metrics, result);
+    obs::publish_analysis_stats(telemetry.metrics, cache.stats());
   }
+  telemetry.note("engine", cache.stats().summary());
 
   // --expect mode: the exit status reports agreement with the stated
   // verdicts (the external-corpus tests pin published results this way),
@@ -921,6 +959,11 @@ int cmd_import(const Args& args) {
   } else {
     system = load_any(args.file);
   }
+  // Prime the (cheap, structural) order analysis so import reports the
+  // same engine-summary line as sim/verify/optimize.
+  const semantics::AnalysisCache cache(system);
+  cache.order();
+  std::cout << "  " << cache.stats().summary() << '\n';
   if (const auto path = args.option("--export-pnml")) {
     write_file(*path, petri::to_pnml(system.control().net(), system.name()));
     std::cout << "pnml written to " << *path << '\n';
@@ -989,6 +1032,7 @@ int main(int argc, char** argv) {
     std::cerr << kUsage;
     return 2;
   }
+  install_signal_handlers();
   try {
     if (args->command == "check") return cmd_check(*args);
     if (args->command == "compile") return cmd_compile(*args);
