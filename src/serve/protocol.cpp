@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -34,7 +35,11 @@ bool read_exact(int fd, char* buf, std::size_t len, bool* eof_at_start) {
 bool write_exact(int fd, const char* buf, std::size_t len) {
   std::size_t sent = 0;
   while (sent < len) {
-    const ssize_t n = ::write(fd, buf + sent, len - sent);
+    // send + MSG_NOSIGNAL, not write(2): a peer that hangs up while a
+    // frame is in flight must surface as EPIPE (-> false, connection
+    // torn down), not as a process-killing SIGPIPE. Framing only ever
+    // runs on sockets (TCP here, socketpair in tests).
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;

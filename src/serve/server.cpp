@@ -9,7 +9,9 @@
 
 #include <cerrno>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.h"
 #include "util/error.h"
@@ -99,37 +101,52 @@ void Server::serve() {
       break;
     }
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
+    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    const std::lock_guard<std::mutex> lock(conn_mu_);
-    connection_fds_.push_back(conn);
-    connections_.emplace_back([this, conn] { connection_loop(conn); });
+    // Reap before admitting: finished connections are joined here, so
+    // the registry only ever holds live threads plus the ones that
+    // finished since the last accept.
+    reap_finished();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = conn_fd;
+    Connection* raw = conn.get();
+    {
+      const std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
   }
 
   // Drain: stop admitting, cancel in-flight budgets, wait for workers —
   // blocked handle() calls return partial results promptly.
   service_.shutdown();
-  // Unblock connection threads parked in read_frame, then join them.
+  // Unblock connection threads: SHUT_RDWR, not SHUT_RD — a thread can
+  // also be blocked in write_frame against a peer that stopped reading
+  // (full send buffer), and only shutting the write side fails that
+  // promptly too.
   {
     const std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+    for (const auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
   }
   for (;;) {
-    std::thread victim;
+    std::unique_ptr<Connection> victim;
     {
       const std::lock_guard<std::mutex> lock(conn_mu_);
       if (connections_.empty()) break;
       victim = std::move(connections_.back());
       connections_.pop_back();
     }
-    if (victim.joinable()) victim.join();
+    if (victim->thread.joinable()) victim->thread.join();
   }
 }
 
-void Server::connection_loop(int fd) {
+void Server::connection_loop(Connection* conn) {
+  const int fd = conn->fd;
   std::string payload;
   for (;;) {
     const FrameStatus status = read_frame(fd, payload);
@@ -144,19 +161,34 @@ void Server::connection_loop(int fd) {
     if (!write_frame(fd, service_.handle(payload))) break;
   }
   // Deregister before close(): once the descriptor number is released
-  // the kernel may hand it to a new connection, and the erase would hit
-  // the wrong entry.
+  // the kernel may hand it to a new connection, and the drain's
+  // shutdown(2) would hit the wrong socket.
   {
     const std::lock_guard<std::mutex> lock(conn_mu_);
-    for (auto it = connection_fds_.begin(); it != connection_fds_.end();
-         ++it) {
-      if (*it == fd) {
-        connection_fds_.erase(it);
-        break;
+    conn->fd = -1;
+  }
+  ::close(fd);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Server::reap_finished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
       }
     }
   }
-  ::close(fd);
+  // Joins are near-instant: done flips as the loop's last statement.
+  for (const auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
 }
 
 }  // namespace camad::serve

@@ -13,13 +13,18 @@
 // a self-pipe alongside the listen socket: camadd's signal handler
 // writes one byte (async-signal-safe), the loop wakes, stops accepting,
 // shuts the service down (which cancels in-flight budgets and drains),
-// then unblocks any connection thread still parked in read_frame via
-// shutdown(2) on its socket and joins them all. serve() returns only
-// when every thread is gone — the caller can then flush reports safely.
+// then unblocks any connection thread still parked in read_frame or
+// write_frame via shutdown(SHUT_RDWR) on its socket and joins them all.
+// serve() returns only when every thread is gone — the caller can then
+// flush reports safely. Threads of connections that close mid-run are
+// reaped (joined and freed) opportunistically on each accept, so a
+// long-running daemon's footprint tracks live connections, not
+// connections ever accepted.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -54,7 +59,20 @@ class Server {
   void stop();
 
  private:
-  void connection_loop(int fd);
+  /// One accepted connection: its socket (−1 once the loop closed it)
+  /// and the thread running connection_loop. `done` flips exactly when
+  /// the loop is about to return, making the thread joinable without
+  /// blocking — the accept loop's reap signal.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void connection_loop(Connection* conn);
+  /// Joins and frees every connection whose loop has finished. Called
+  /// from the accept thread only (which also owns thread assignment).
+  void reap_finished();
 
   Service& service_;
   int listen_fd_ = -1;
@@ -64,8 +82,7 @@ class Server {
   std::atomic<bool> stopping_{false};
 
   std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
-  std::vector<int> connection_fds_;
+  std::vector<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace camad::serve

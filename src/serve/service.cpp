@@ -108,9 +108,13 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
 Service::~Service() { shutdown(); }
 
 void Service::shutdown() {
+  // Serializes concurrent shutdown callers (Server::serve vs ~Service,
+  // or two explicit calls): join() on one std::thread from two threads
+  // is UB, so the loser blocks here until the winner's join completes
+  // and then sees a no-longer-joinable pool.
+  const std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && !pool_.joinable()) return;
     shutting_down_ = true;
     // Cancel queued *and* executing requests: engine loops observe the
     // budget at their next cycle / level / generation boundary and

@@ -155,6 +155,7 @@ class Service {
   std::deque<std::unique_ptr<Job>> queue_;
   std::unordered_set<Budget*> in_flight_;  ///< queued + executing
   bool shutting_down_ = false;
+  std::mutex shutdown_mu_;  ///< serializes shutdown()'s pool_ join
   std::thread pool_;  ///< runs parallel_jobs(workers, workers, loop)
 
   // Aggregated engine stats (guarded by stats_mu_, written after each

@@ -40,7 +40,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -130,6 +132,26 @@ int usage() {
                " [--requests N] [--seed S]\n"
                "                  [--check] [--heavy FILE.pnml] [--json]\n";
   return 2;
+}
+
+/// strtoull with full validation — std::stoull would terminate the
+/// process on `--clients x`. Rejects empty, signed, trailing-garbage
+/// and out-of-range spellings.
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_port(const std::string& text, std::uint16_t& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value) || value > 65535) return false;
+  out = static_cast<std::uint16_t>(value);
+  return true;
 }
 
 /// splitmix64 — the repo-standard deterministic stream.
@@ -469,14 +491,22 @@ int main(int argc, char** argv) {
       return false;
     };
     std::string value;
+    std::uint64_t number = 0;
+    const auto bad_number = [&](const char* name) {
+      std::cerr << "invalid value '" << value << "' for " << name << '\n';
+      return usage();
+    };
     if (value_of("--port", value)) {
-      options.port = static_cast<std::uint16_t>(std::stoul(value));
+      if (!parse_port(value, options.port)) return bad_number("--port");
     } else if (value_of("--clients", value)) {
-      options.clients = std::stoull(value);
+      if (!parse_u64(value, number)) return bad_number("--clients");
+      options.clients = number;
     } else if (value_of("--requests", value)) {
-      options.requests = std::stoull(value);
+      if (!parse_u64(value, number)) return bad_number("--requests");
+      options.requests = number;
     } else if (value_of("--seed", value)) {
-      options.seed = std::stoull(value);
+      if (!parse_u64(value, number)) return bad_number("--seed");
+      options.seed = number;
     } else if (value_of("--heavy", value)) {
       options.heavy_path = value;
     } else if (arg == "--smoke") {

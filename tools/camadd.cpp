@@ -23,7 +23,9 @@
 // Exit status: 0 on a clean (signal-driven) shutdown, 2 on usage or
 // bind errors.
 
+#include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -63,6 +65,26 @@ int usage() {
   return 2;
 }
 
+/// strtoull with full validation — std::stoull would terminate the
+/// process on `--workers x`. Rejects empty, signed, trailing-garbage
+/// and out-of-range spellings.
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_port(const std::string& text, std::uint16_t& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value) || value > 65535) return false;
+  out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
 bool parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,16 +101,24 @@ bool parse_args(int argc, char** argv, Options& options) {
       return false;
     };
     std::string value;
+    std::uint64_t number = 0;
+    const auto bad_number = [&](const char* name) {
+      std::cerr << "invalid value '" << value << "' for " << name << '\n';
+      return false;
+    };
     if (value_of("--port", value)) {
-      options.port = static_cast<std::uint16_t>(std::stoul(value));
+      if (!parse_port(value, options.port)) return bad_number("--port");
     } else if (value_of("--port-file", value)) {
       options.port_file = value;
     } else if (value_of("--workers", value)) {
-      options.workers = std::stoull(value);
+      if (!parse_u64(value, number)) return bad_number("--workers");
+      options.workers = number;
     } else if (value_of("--queue", value)) {
-      options.queue = std::stoull(value);
+      if (!parse_u64(value, number)) return bad_number("--queue");
+      options.queue = number;
     } else if (value_of("--deadline-ms", value)) {
-      options.deadline_ms = std::stoull(value);
+      if (!parse_u64(value, number)) return bad_number("--deadline-ms");
+      options.deadline_ms = number;
     } else if (arg == "--metrics") {
       options.metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -110,6 +140,10 @@ bool parse_args(int argc, char** argv, Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Framed socket writes already use MSG_NOSIGNAL (serve/protocol.cpp),
+  // but a daemon must never die to SIGPIPE from any stray fd write —
+  // ignore it process-wide as well.
+  std::signal(SIGPIPE, SIG_IGN);
   Options options;
   if (!parse_args(argc, argv, options)) return usage();
 
